@@ -1,0 +1,192 @@
+package zsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmarkPublicAPI(t *testing.T) {
+	res, err := RunBenchmark("is", ScaleSmall, RCInv, DefaultParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime == 0 || res.System != RCInv || res.App != "is" {
+		t.Fatalf("unexpected result: %s", res)
+	}
+}
+
+func TestRunBenchmarkUnknown(t *testing.T) {
+	if _, err := RunBenchmark("nope", ScaleSmall, RCInv, DefaultParams(16)); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := RunBenchmark("is", ScaleSmall, Kind("nope"), DefaultParams(16)); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 4 {
+		t.Fatalf("benchmarks = %v", bs)
+	}
+	for _, name := range bs {
+		if _, err := NewBenchmark(name, ScaleSmall); err != nil {
+			t.Errorf("NewBenchmark(%s): %v", name, err)
+		}
+	}
+}
+
+// A complete custom application through the public API: a parallel
+// tree-sum with a barrier, exercising machine construction, shared arrays,
+// and the overhead decomposition.
+type treeSum struct {
+	data F64
+	out  F64
+	bar  *Barrier
+	n    int
+}
+
+func (a *treeSum) Name() string { return "treesum" }
+
+func (a *treeSum) Setup(m *Machine) {
+	a.n = 256
+	a.data = NewF64(m, a.n)
+	a.out = NewF64(m, m.NumProcs())
+	a.bar = NewBarrier(m)
+	for i := 0; i < a.n; i++ {
+		m.PokeF64(a.data.At(i), float64(i))
+	}
+}
+
+func (a *treeSum) Body(e *Env) {
+	per := a.n / e.NumProcs()
+	lo := e.ID() * per
+	var sum float64
+	for i := lo; i < lo+per; i++ {
+		sum += a.data.Get(e, i)
+		e.Compute(4)
+	}
+	a.out.Set(e, e.ID(), sum)
+	a.bar.Wait(e)
+	if e.ID() == 0 {
+		var total float64
+		for p := 0; p < e.NumProcs(); p++ {
+			total += a.out.Get(e, p)
+			e.Compute(4)
+		}
+		a.out.Set(e, 0, total)
+	}
+}
+
+func (a *treeSum) Verify(m *Machine) error {
+	want := float64(a.n*(a.n-1)) / 2
+	if got := m.PeekF64(a.out.At(0)); got != want {
+		return fmt.Errorf("treesum: got %g, want %g", got, want)
+	}
+	return nil
+}
+
+func TestCustomAppThroughPublicAPI(t *testing.T) {
+	for _, kind := range Kinds() {
+		res, err := RunApp(&treeSum{}, kind, DefaultParams(16))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if kind == ZMachine && (res.TotalWriteStall() != 0 || res.TotalBufferFlush() != 0) {
+			t.Fatalf("z-machine run has write-side overheads: %s", res)
+		}
+	}
+}
+
+func TestPaperFigurePublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure in -short mode")
+	}
+	fig, err := PaperFigure(3, ScaleSmall, DefaultParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.Render(), "Figure 3") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestPaperTable1PublicAPI(t *testing.T) {
+	tbl, results, err := PaperTable1(ScaleSmall, DefaultParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !strings.Contains(tbl.CSV(), "app,") {
+		t.Fatal("CSV export broken")
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams(16)
+	if p.LineSize != 32 || p.ZLineSize != 4 || p.StoreBufEntries != 4 {
+		t.Fatalf("defaults deviate from the paper: %+v", p)
+	}
+}
+
+func TestSweepAliasesWired(t *testing.T) {
+	if StoreBufferSweep == nil || NetworkSweep == nil || ThresholdSweep == nil ||
+		FiniteCacheSweep == nil || PrefetchSweep == nil || SCvsRC == nil {
+		t.Fatal("sweep aliases not wired")
+	}
+}
+
+func TestNewAPISurface(t *testing.T) {
+	p := DefaultMTParams(8, 2)
+	if p.Nodes() != 4 {
+		t.Fatalf("DefaultMTParams nodes = %d", p.Nodes())
+	}
+	m, err := NewMachine(RCSync, DefaultParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := NewSpinLock(m, 8)
+	tb := NewTreeBarrier(m)
+	fl := NewFlag(m)
+	cell := NewU64(m, 1)
+	res := m.Run("surface", func(e *Env) {
+		if e.ID() == 0 {
+			sl.Acquire(e)
+			cell.Set(e, 0, 1)
+			sl.Release(e)
+			fl.Set(e)
+		} else {
+			fl.Wait(e)
+		}
+		tb.Wait(e)
+	})
+	if res.TotalBufferFlush() != 0 {
+		t.Fatalf("rcsync flushed: %s", res)
+	}
+	if m.PeekU64(cell.At(0)) != 1 {
+		t.Fatal("value lost")
+	}
+}
+
+func TestSweepAliasesAllWired(t *testing.T) {
+	if MultithreadSweep == nil || ScalabilitySweep == nil || TopologySweep == nil ||
+		RCSyncComparison == nil || OrderingSweep == nil || DirPointerSweep == nil || LineSizeSweep == nil {
+		t.Fatal("a sweep alias is nil")
+	}
+}
+
+func TestEvaluateClaimsPublic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims in -short mode")
+	}
+	tbl, ok, err := EvaluateClaims(ScaleSmall, DefaultParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("claims failed:\n%s", tbl.Render())
+	}
+}

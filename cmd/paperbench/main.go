@@ -1,0 +1,127 @@
+// Command paperbench regenerates the paper's evaluation: every figure and
+// table, the ablation sweeps behind its architectural-implications
+// discussion, and a machine-checked verdict on the paper's qualitative
+// claims.
+//
+// Usage:
+//
+//	paperbench                      # everything at small scale
+//	paperbench -scale paper         # the paper's problem sizes (slow)
+//	paperbench -fig 2               # just Figure 2 (Cholesky)
+//	paperbench -table 1             # just Table 1
+//	paperbench -list                # the experiment index (E1..E20)
+//	paperbench -exp E15             # one experiment
+//	paperbench -claims              # machine-check the paper's claims
+//	paperbench -svg DIR             # also write figures as SVG
+//	paperbench -csv | -md           # CSV or markdown tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"zsim"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", "problem scale: small | paper")
+		procs  = flag.Int("procs", 16, "number of processors")
+		fig    = flag.Int("fig", 0, "regenerate only this figure (2-5)")
+		table  = flag.Int("table", 0, "regenerate only this table (1)")
+		csv    = flag.Bool("csv", false, "emit tables as CSV")
+		md     = flag.Bool("md", false, "emit tables as markdown")
+		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		expID  = flag.String("exp", "", "run a single experiment by ID (E1..E20)")
+		list   = flag.Bool("list", false, "list the experiment index and exit")
+		claims = flag.Bool("claims", false, "machine-check the paper's claims and print the verdicts")
+		matrix = flag.Bool("matrix", false, "print the overhead%% matrix: every app on every system")
+	)
+	flag.Parse()
+
+	sc := zsim.Scale(*scale)
+	params := zsim.DefaultParams(*procs)
+	emitTable := func(t *zsim.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *md:
+			fmt.Print(t.Markdown())
+		default:
+			fmt.Print(t.Render())
+		}
+		fmt.Println()
+	}
+	emitArtifact := func(id string, art interface {
+		Render() string
+		Markdown() string
+	}) {
+		if *md {
+			fmt.Print(art.Markdown())
+		} else {
+			fmt.Print(art.Render())
+		}
+		fmt.Println()
+		if f, ok := art.(*zsim.Figure); ok && *svgDir != "" {
+			path := filepath.Join(*svgDir, fmt.Sprintf("%s.svg", id))
+			check(os.WriteFile(path, []byte(f.SVG()), 0o644))
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	runClaims := func() bool {
+		t, allOK, err := zsim.EvaluateClaims(sc, params)
+		check(err)
+		emitTable(t)
+		return allOK
+	}
+
+	switch {
+	case *matrix:
+		t, err := zsim.SummaryMatrix(sc, params)
+		check(err)
+		emitTable(t)
+	case *claims:
+		if !runClaims() {
+			os.Exit(1)
+		}
+	case *list:
+		for _, e := range zsim.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *expID != "":
+		e, err := zsim.FindExperiment(*expID)
+		check(err)
+		art, err := e.Run(sc, params)
+		check(err)
+		emitArtifact(e.ID, art)
+	case *fig != 0:
+		f, err := zsim.PaperFigure(*fig, sc, params)
+		check(err)
+		emitArtifact(fmt.Sprintf("figure%d", *fig), f)
+	case *table == 1:
+		t, _, err := zsim.PaperTable1(sc, params)
+		check(err)
+		emitTable(t)
+	default:
+		// The complete regeneration: every indexed experiment, then the
+		// machine-checked claim verdicts.
+		for _, e := range zsim.Experiments() {
+			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+			art, err := e.Run(sc, params)
+			check(err)
+			emitArtifact(e.ID, art)
+		}
+		if !runClaims() {
+			os.Exit(1)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command zsim runs one of the paper's benchmark applications on one
+// simulated memory system and prints the execution-time breakdown.
+//
+// Usage:
+//
+//	zsim -app is -system rcinv -procs 16 -scale small
+//	zsim -app cholesky -system zmc -scale paper
+//	zsim -app nbody -all            # all five figure systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zsim"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "is", "application: cholesky | is | maxflow | nbody | sor")
+		system  = flag.String("system", "rcinv", "memory system: zmc | pram | scinv | rcinv | rcupd | rccomp | rcadapt")
+		procs   = flag.Int("procs", 16, "number of processors")
+		scale   = flag.String("scale", "small", "problem scale: small | paper")
+		all     = flag.Bool("all", false, "run the five figure systems and print the comparison")
+		verbose = flag.Bool("v", false, "print per-processor breakdowns")
+		traceN  = flag.Int("trace", 0, "record the last N events and print the hottest cache lines")
+		topo    = flag.String("topology", "mesh", "interconnect: mesh | torus | hypercube | xbar | bus")
+		threads = flag.Int("threads", 1, "hardware threads per node (procs must be divisible)")
+		pfile   = flag.String("params", "", "JSON parameter file (overrides the other machine flags)")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	var params zsim.Params
+	if *pfile != "" {
+		data, err := os.ReadFile(*pfile)
+		if err != nil {
+			fatal(err)
+		}
+		params, err = zsim.ParamsFromJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		params = zsim.DefaultMTParams(*procs, *threads)
+		params.Topology = *topo
+		if err := params.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	sc := zsim.Scale(*scale)
+
+	if *all {
+		fig := &zsim.Figure{Title: fmt.Sprintf("%s (%s scale, %d processors)", *app, sc, *procs)}
+		for _, kind := range zsim.FigureKinds() {
+			res, err := zsim.RunBenchmark(*app, sc, kind, params)
+			if err != nil {
+				fatal(err)
+			}
+			fig.Results = append(fig.Results, res)
+		}
+		fmt.Print(fig.Render())
+		return
+	}
+
+	bench, err := zsim.NewBenchmark(*app, sc)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := zsim.NewMachine(zsim.Kind(*system), params)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *zsim.Trace
+	if *traceN > 0 {
+		rec = m.EnableTrace(*traceN)
+	}
+	res, err := zsim.RunAppOn(bench, m)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		data, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Printf("application:   %s (%s scale)\n", res.App, sc)
+	fmt.Printf("memory system: %s, %d processors\n", res.System, params.Procs)
+	fmt.Printf("execution:     %d cycles\n", res.ExecTime)
+	fmt.Printf("read stall:    %d cycles\n", res.TotalReadStall())
+	fmt.Printf("write stall:   %d cycles\n", res.TotalWriteStall())
+	fmt.Printf("buffer flush:  %d cycles\n", res.TotalBufferFlush())
+	fmt.Printf("sync wait:     %d cycles (inherent)\n", res.TotalSyncWait())
+	fmt.Printf("overhead:      %.2f%% of aggregate execution time\n", res.OverheadPct())
+	fmt.Printf("traffic:       %d messages, %d bytes\n", res.Counters.Messages, res.Counters.Bytes)
+	if rec != nil {
+		fmt.Printf("\nhottest cache lines (of the last %d traced events):\n", *traceN)
+		for _, h := range rec.HotLines(params.LineSize, 10) {
+			fmt.Println("  " + h.String())
+		}
+	}
+	if *verbose {
+		fmt.Println("\nper-processor breakdown (cycles):")
+		fmt.Printf("%4s %12s %12s %12s %12s %12s\n", "proc", "compute", "read-stall", "write-stall", "buf-flush", "sync-wait")
+		for i, p := range res.Procs {
+			fmt.Printf("%4d %12d %12d %12d %12d %12d\n", i, p.Compute, p.ReadStall, p.WriteStall, p.BufferFlush, p.SyncWait)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsim:", err)
+	os.Exit(1)
+}

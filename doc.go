@@ -1,0 +1,31 @@
+// Package zsim reproduces "The Quest for a Zero Overhead Shared Memory
+// Parallel Machine" (Shah, Singla, Ramachandran; ICPP 1995): an
+// execution-driven shared-memory multiprocessor simulator whose reference
+// point is the z-machine — a realistic ideal machine that charges an
+// application only for the communication inherent in its producer-consumer
+// data flow.
+//
+// The package exposes three layers:
+//
+//   - Benchmarks. RunBenchmark and the Figure/Table helpers execute the
+//     paper's four applications (Cholesky, Barnes-Hut, Integer Sort,
+//     Maxflow) on any of the seven memory systems and regenerate every
+//     figure and table of the paper's evaluation.
+//
+//   - Custom applications. NewMachine + the Env trap API (shared arrays,
+//     locks, barriers, flags) let callers write their own parallel programs
+//     and measure how far a memory system's behaviour is from the
+//     zero-overhead ideal. See examples/customapp.
+//
+//   - Raw memory systems. The Kinds constants name the systems: ZMachine,
+//     PRAM, SCInv, RCInv, RCUpd, RCComp, RCAdapt.
+//
+// A minimal session:
+//
+//	res, err := zsim.RunBenchmark("is", zsim.ScaleSmall, zsim.RCInv, zsim.DefaultParams(16))
+//	if err != nil { ... }
+//	fmt.Printf("overhead: %.1f%%\n", res.OverheadPct())
+//
+// All simulation is deterministic: the same configuration always produces
+// the same cycle counts.
+package zsim

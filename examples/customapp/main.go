@@ -1,0 +1,124 @@
+// Customapp: a complete domain application written against the zsim public
+// API — a red-black Gauss-Seidel solver for the 2-D Poisson equation on a
+// grid partitioned into horizontal strips. Each sweep updates one color
+// with a barrier between colors, so neighbouring strips exchange only their
+// boundary rows: a classic static nearest-neighbour sharing pattern.
+//
+// The example shows (a) how to build an application with shared arrays,
+// barriers, and an explicit compute cost model, and (b) how the paper's
+// overhead decomposition localizes where a memory system loses time on it.
+//
+// Run with: go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"zsim"
+)
+
+// redblack solves ∇²u = f on an n×n interior grid with u=0 boundaries.
+type redblack struct {
+	n      int // interior grid dimension
+	sweeps int
+	u      zsim.F64 // (n+2)×(n+2), row-major
+	f      zsim.F64
+	bar    *zsim.Barrier
+}
+
+func (rb *redblack) Name() string { return "redblack" }
+
+func (rb *redblack) idx(r, c int) int { return r*(rb.n+2) + c }
+
+func (rb *redblack) Setup(m *zsim.Machine) {
+	rb.n = 24
+	rb.sweeps = 10
+	size := (rb.n + 2) * (rb.n + 2)
+	rb.u = zsim.NewF64(m, size)
+	rb.f = zsim.NewF64(m, size)
+	rb.bar = zsim.NewBarrier(m)
+	for r := 1; r <= rb.n; r++ {
+		for c := 1; c <= rb.n; c++ {
+			m.PokeF64(rb.f.At(rb.idx(r, c)), 1.0)
+		}
+	}
+}
+
+func (rb *redblack) Body(e *zsim.Env) {
+	// Horizontal strip of rows per processor.
+	per := (rb.n + e.NumProcs() - 1) / e.NumProcs()
+	lo := e.ID()*per + 1
+	hi := lo + per - 1
+	if hi > rb.n {
+		hi = rb.n
+	}
+	h2 := 1.0 / float64((rb.n+1)*(rb.n+1))
+	for s := 0; s < rb.sweeps; s++ {
+		for color := 0; color < 2; color++ {
+			for r := lo; r <= hi; r++ {
+				for c := 1 + (r+color)%2; c <= rb.n; c += 2 {
+					up := rb.u.Get(e, rb.idx(r-1, c))
+					down := rb.u.Get(e, rb.idx(r+1, c))
+					left := rb.u.Get(e, rb.idx(r, c-1))
+					right := rb.u.Get(e, rb.idx(r, c+1))
+					fv := rb.f.Get(e, rb.idx(r, c))
+					rb.u.Set(e, rb.idx(r, c), 0.25*(up+down+left+right-h2*fv))
+					e.Compute(6 * 4) // 6 flops
+				}
+			}
+			rb.bar.Wait(e)
+		}
+	}
+}
+
+func (rb *redblack) Verify(m *zsim.Machine) error {
+	// The iterate must match a sequential red-black solver exactly (the
+	// update order within a color does not affect the result: each color
+	// reads only the other color).
+	n := rb.n
+	u := make([]float64, (n+2)*(n+2))
+	f := make([]float64, (n+2)*(n+2))
+	for i := range f {
+		f[i] = m.PeekF64(rb.f.At(i))
+	}
+	h2 := 1.0 / float64((n+1)*(n+1))
+	id := func(r, c int) int { return r*(n+2) + c }
+	for s := 0; s < rb.sweeps; s++ {
+		for color := 0; color < 2; color++ {
+			for r := 1; r <= n; r++ {
+				for c := 1 + (r+color)%2; c <= n; c += 2 {
+					u[id(r, c)] = 0.25 * (u[id(r-1, c)] + u[id(r+1, c)] + u[id(r, c-1)] + u[id(r, c+1)] - h2*f[id(r, c)])
+				}
+			}
+		}
+	}
+	for i := range u {
+		got := m.PeekF64(rb.u.At(i))
+		if math.Abs(got-u[i]) > 1e-12 {
+			return fmt.Errorf("cell %d = %g, reference %g", i, got, u[i])
+		}
+	}
+	return nil
+}
+
+func main() {
+	params := zsim.DefaultParams(16)
+	fmt.Println("red-black Gauss-Seidel, 24x24 interior grid, 10 sweeps, 16 processors")
+	fmt.Printf("%-8s %12s %12s %12s %12s %10s\n",
+		"system", "exec-cycles", "read-stall", "write-stall", "buf-flush", "overhead")
+	for _, kind := range zsim.FigureKinds() {
+		res, err := zsim.RunApp(&redblack{}, kind, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12d %12d %12d %12d %9.2f%%\n",
+			kind, res.ExecTime, res.TotalReadStall(), res.TotalWriteStall(),
+			res.TotalBufferFlush(), res.OverheadPct())
+	}
+	fmt.Println("\nNearest-neighbour sharing is stable, so the update-family systems")
+	fmt.Println("(rcupd/rcadapt/rccomp) eliminate most of the read stall rcinv pays on")
+	fmt.Println("boundary rows every sweep — but buy it with write stall and buffer")
+	fmt.Println("flush from the update fan-out, the exact trade-off of the paper's §5.")
+}

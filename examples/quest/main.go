@@ -1,0 +1,60 @@
+// Quest: the paper's argument, end to end, on one workload.
+//
+// Step 1 measures the z-machine — the realistic ideal whose read stall is
+// the application's inherent communication cost. Step 2 measures a real
+// memory system (RCinv) and decomposes everything above the ideal into the
+// three overhead classes. Steps 3-5 then apply the paper's §6 architectural
+// implications one at a time and watch the overhead shrink toward zero:
+// an adaptive protocol (lower traffic), prefetching (cold misses), and
+// finally the §6 proposal itself — decoupling data flow from
+// synchronization (rcsync), which eliminates buffer flush by construction.
+//
+// Run with: go run ./examples/quest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zsim"
+)
+
+func measure(label string, kind zsim.Kind, tweak func(*zsim.Params)) *zsim.Result {
+	params := zsim.DefaultParams(16)
+	if tweak != nil {
+		tweak(&params)
+	}
+	res, err := zsim.RunBenchmark("cholesky", zsim.ScaleSmall, kind, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s %12d %10.2f%% %12d %12d %12d\n",
+		label, res.ExecTime, res.OverheadPct(),
+		res.TotalReadStall(), res.TotalWriteStall(), res.TotalBufferFlush())
+	return res
+}
+
+func main() {
+	fmt.Println("The quest for a zero overhead machine, on Cholesky (16 processors):")
+	fmt.Println()
+	fmt.Printf("%-34s %12s %10s %12s %12s %12s\n",
+		"step", "exec-cycles", "overhead", "read-stall", "write-stall", "buf-flush")
+
+	ideal := measure("1. the ideal (z-machine)", zsim.ZMachine, nil)
+	base := measure("2. a real system (rcinv)", zsim.RCInv, nil)
+	measure("3. + adaptive protocol (rcadapt)", zsim.RCAdapt, nil)
+	measure("4. + prefetching (rcinv, degree 4)", zsim.RCInv, func(p *zsim.Params) {
+		p.PrefetchDegree = 4
+	})
+	final := measure("5. + decoupled sync (rcsync, pf 4)", zsim.RCSync, func(p *zsim.Params) {
+		p.PrefetchDegree = 4
+	})
+
+	fmt.Println()
+	removed := 100 * (base.OverheadPct() - final.OverheadPct()) / base.OverheadPct()
+	fmt.Printf("The ideal shows %.2f%% overhead; the unimproved real system %.2f%%.\n",
+		ideal.OverheadPct(), base.OverheadPct())
+	fmt.Printf("The paper's §6 mechanisms remove %.0f%% of that overhead — buffer flush\n", removed)
+	fmt.Println("goes to exactly zero (the rcsync construction), and what remains is the")
+	fmt.Println("read stall the paper leaves to smarter data-flow mechanisms.")
+}

@@ -1,0 +1,50 @@
+// Package apps defines the application interface of the workload harness
+// and hosts the four benchmark applications of the paper's evaluation in its
+// subpackages: Cholesky and Barnes-Hut (SPLASH), Integer Sort (NAS), and
+// Maxflow (Anderson–Setubal push-relabel).
+//
+// Applications are real parallel programs: every shared datum lives in the
+// simulated address space and every access goes through machine.Env, while
+// local computation charges explicit cycle costs. The cost model substitutes
+// for SPASM's instruction-level cycle counting (see DESIGN.md §3); the
+// constants below are loosely calibrated to a simple RISC core.
+package apps
+
+import (
+	"zsim/internal/machine"
+	"zsim/internal/stats"
+)
+
+// App is a runnable benchmark application.
+type App interface {
+	// Name identifies the application in results ("cholesky", "is", ...).
+	Name() string
+	// Setup allocates and initializes the shared data (untimed, as if the
+	// input were loaded before measurement starts).
+	Setup(m *machine.Machine)
+	// Body is the per-processor program.
+	Body(e *machine.Env)
+	// Verify checks the run's output against a sequential reference.
+	Verify(m *machine.Machine) error
+}
+
+// Cycle costs of local computation, charged via Env.Compute. One simulated
+// cycle ≈ one simple integer op; floating point and branches cost more.
+const (
+	CostLoop  = 2  // loop bookkeeping per iteration
+	CostInt   = 1  // integer ALU op
+	CostFlop  = 4  // floating-point add/mul
+	CostDiv   = 16 // floating-point divide
+	CostSqrt  = 20 // floating-point square root
+	CostCheck = 2  // comparison + branch
+	CostIdle  = 50 // back-off while polling for work
+)
+
+// Run executes app on the given fresh machine: Setup, the parallel Body on
+// every processor, then Verify. It returns the run's statistics and the
+// verification error, if any.
+func Run(app App, m *machine.Machine) (*stats.Result, error) {
+	app.Setup(m)
+	res := m.Run(app.Name(), app.Body)
+	return res, app.Verify(m)
+}

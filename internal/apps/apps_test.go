@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+// failApp deliberately fails verification.
+type failApp struct{ ran bool }
+
+func (f *failApp) Name() string           { return "fail" }
+func (f *failApp) Setup(*machine.Machine) {}
+func (f *failApp) Body(e *machine.Env)    { f.ran = true }
+func (f *failApp) Verify(*machine.Machine) error {
+	return errors.New("intentional")
+}
+
+func TestRunPropagatesVerifyError(t *testing.T) {
+	m := machine.MustNew(memsys.KindPRAM, memsys.Default(4))
+	app := &failApp{}
+	res, err := Run(app, m)
+	if err == nil || err.Error() != "intentional" {
+		t.Fatalf("err = %v, want the verification error", err)
+	}
+	if res == nil {
+		t.Fatal("statistics must be returned even when verification fails")
+	}
+	if !app.ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestCostConstantsSane(t *testing.T) {
+	// The cost model's ordering is load-bearing for every application's
+	// compute/communication ratio: branches cheapest, sqrt dearest.
+	if !(CostInt <= CostLoop && CostLoop <= CostFlop && CostFlop < CostDiv && CostDiv < CostSqrt) {
+		t.Fatal("cost constants out of order")
+	}
+	if CostIdle <= CostCheck {
+		t.Fatal("idle back-off should dwarf a branch")
+	}
+}

@@ -1,0 +1,424 @@
+// Package barneshut implements the SPLASH-style Barnes-Hut N-body
+// application of the paper's evaluation: bodies are statically assigned to
+// processors and every time step goes through three barrier-separated
+// phases — octree build, force computation, and position update. The
+// producer-consumer relationship is well defined and changes gradually; per
+// the paper's footnote, an artificial "boost" perturbs the sharing pattern
+// every few time steps (here by rotating the body-to-processor assignment),
+// simulating the drift of many more time steps.
+package barneshut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// Config sizes the simulation.
+type Config struct {
+	NBodies    int     // number of bodies
+	Steps      int     // time steps
+	BoostEvery int     // rotate the body assignment every this many steps (0 = never)
+	Theta      float64 // opening criterion (0 = exact direct summation via the tree)
+	Dt         float64 // integration step
+	Eps2       float64 // softening (squared)
+	Seed       int64
+}
+
+// Paper returns the paper's problem size: 128 bodies over 50 time steps
+// with the sharing boost every 10 steps.
+func Paper() Config {
+	return Config{NBodies: 128, Steps: 50, BoostEvery: 10, Theta: 0.5, Dt: 0.005, Eps2: 0.05, Seed: 1995}
+}
+
+// Small returns a reduced instance for fast tests.
+func Small() Config {
+	return Config{NBodies: 32, Steps: 4, BoostEvery: 2, Theta: 0.5, Dt: 0.005, Eps2: 0.05, Seed: 11}
+}
+
+// child-slot encoding in the shared tree: 0 empty, k+1 internal node k,
+// -(b+1) leaf holding body b.
+func encNode(k int64) int64 { return k + 1 }
+func encBody(b int64) int64 { return -(b + 1) }
+
+// BH is one Barnes-Hut run.
+type BH struct {
+	cfg      Config
+	maxNodes int
+
+	// Bodies (struct-of-arrays in shared memory).
+	x, y, z    shm.F64
+	vx, vy, vz shm.F64
+	fx, fy, fz shm.F64
+	mass       shm.F64
+
+	// Octree.
+	child         shm.I64 // [8*maxNodes]
+	nmass         shm.F64 // [maxNodes] node total mass
+	ncx, ncy, ncz shm.F64 // [maxNodes] node center of mass
+	rootInfo      shm.F64 // [4]: cx, cy, cz, half-width of the root cell
+	bar           *psync.Barrier
+	init          []Body // initial conditions for the reference
+}
+
+// Body is a plain (non-simulated) body state, used by the sequential
+// reference and verification.
+type Body struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	M          float64
+}
+
+// New returns a Barnes-Hut application instance.
+func New(cfg Config) *BH {
+	if cfg.NBodies < 2 || cfg.Steps <= 0 {
+		panic(fmt.Sprintf("barneshut: bad config %+v", cfg))
+	}
+	return &BH{cfg: cfg, maxNodes: 8*cfg.NBodies + 64}
+}
+
+// Name implements apps.App.
+func (b *BH) Name() string { return "nbody" }
+
+// InitialBodies generates the deterministic initial conditions: bodies in a
+// unit ball with small velocities and zero net momentum.
+func InitialBodies(cfg Config) []Body {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bodies := make([]Body, cfg.NBodies)
+	var px, py, pz float64
+	for i := range bodies {
+		// Rejection-sample the unit ball.
+		var x, y, z float64
+		for {
+			x, y, z = 2*rng.Float64()-1, 2*rng.Float64()-1, 2*rng.Float64()-1
+			if x*x+y*y+z*z <= 1 {
+				break
+			}
+		}
+		m := 1.0 / float64(cfg.NBodies)
+		vx, vy, vz := 0.1*(2*rng.Float64()-1), 0.1*(2*rng.Float64()-1), 0.1*(2*rng.Float64()-1)
+		bodies[i] = Body{X: x, Y: y, Z: z, VX: vx, VY: vy, VZ: vz, M: m}
+		px += m * vx
+		py += m * vy
+		pz += m * vz
+	}
+	// Remove net momentum.
+	for i := range bodies {
+		bodies[i].VX -= px / (bodies[i].M * float64(cfg.NBodies))
+		bodies[i].VY -= py / (bodies[i].M * float64(cfg.NBodies))
+		bodies[i].VZ -= pz / (bodies[i].M * float64(cfg.NBodies))
+	}
+	return bodies
+}
+
+// Setup implements apps.App.
+func (b *BH) Setup(m *machine.Machine) {
+	n := b.cfg.NBodies
+	b.x, b.y, b.z = shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n)
+	b.vx, b.vy, b.vz = shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n)
+	b.fx, b.fy, b.fz = shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n), shm.NewF64(m.Heap, n)
+	b.mass = shm.NewF64(m.Heap, n)
+	b.child = shm.NewI64(m.Heap, 8*b.maxNodes)
+	b.nmass = shm.NewF64(m.Heap, b.maxNodes)
+	b.ncx, b.ncy, b.ncz = shm.NewF64(m.Heap, b.maxNodes), shm.NewF64(m.Heap, b.maxNodes), shm.NewF64(m.Heap, b.maxNodes)
+	b.rootInfo = shm.NewF64(m.Heap, 4)
+	b.bar = psync.NewBarrier(m)
+
+	b.init = InitialBodies(b.cfg)
+	for i, bd := range b.init {
+		m.PokeF64(b.x.At(i), bd.X)
+		m.PokeF64(b.y.At(i), bd.Y)
+		m.PokeF64(b.z.At(i), bd.Z)
+		m.PokeF64(b.vx.At(i), bd.VX)
+		m.PokeF64(b.vy.At(i), bd.VY)
+		m.PokeF64(b.vz.At(i), bd.VZ)
+		m.PokeF64(b.mass.At(i), bd.M)
+	}
+}
+
+// owner returns the processor owning body i at the given rotation.
+func owner(i, n, np, rot int) int {
+	per := (n + np - 1) / np
+	return (i/per + rot) % np
+}
+
+// Body implements apps.App.
+func (b *BH) Body(e *machine.Env) {
+	n, np := b.cfg.NBodies, e.NumProcs()
+	rot := 0
+	for step := 0; step < b.cfg.Steps; step++ {
+		if b.cfg.BoostEvery > 0 && step > 0 && step%b.cfg.BoostEvery == 0 {
+			rot++ // the artificial boost: new body-processor assignment
+		}
+		// Phase 1: processor 0 builds the octree.
+		if e.ID() == 0 {
+			b.buildTree(e)
+		}
+		b.bar.Wait(e)
+		// Phase 2: compute forces for owned bodies.
+		rootHalf := b.rootInfo.Get(e, 3)
+		rcx, rcy, rcz := b.rootInfo.Get(e, 0), b.rootInfo.Get(e, 1), b.rootInfo.Get(e, 2)
+		for i := 0; i < n; i++ {
+			if owner(i, n, np, rot) != e.ID() {
+				continue
+			}
+			xi, yi, zi := b.x.Get(e, i), b.y.Get(e, i), b.z.Get(e, i)
+			fx, fy, fz := b.force(e, i, xi, yi, zi, 0, rcx, rcy, rcz, 2*rootHalf)
+			b.fx.Set(e, i, fx)
+			b.fy.Set(e, i, fy)
+			b.fz.Set(e, i, fz)
+			e.Compute(apps.CostLoop)
+		}
+		b.bar.Wait(e)
+		// Phase 3: integrate owned bodies.
+		for i := 0; i < n; i++ {
+			if owner(i, n, np, rot) != e.ID() {
+				continue
+			}
+			m := b.mass.Get(e, i)
+			vx := b.vx.Get(e, i) + b.fx.Get(e, i)/m*b.cfg.Dt
+			vy := b.vy.Get(e, i) + b.fy.Get(e, i)/m*b.cfg.Dt
+			vz := b.vz.Get(e, i) + b.fz.Get(e, i)/m*b.cfg.Dt
+			b.vx.Set(e, i, vx)
+			b.vy.Set(e, i, vy)
+			b.vz.Set(e, i, vz)
+			b.x.Set(e, i, b.x.Get(e, i)+vx*b.cfg.Dt)
+			b.y.Set(e, i, b.y.Get(e, i)+vy*b.cfg.Dt)
+			b.z.Set(e, i, b.z.Get(e, i)+vz*b.cfg.Dt)
+			e.Compute(apps.CostLoop + 6*apps.CostFlop + 3*apps.CostDiv)
+		}
+		b.bar.Wait(e)
+	}
+}
+
+// buildTree is phase 1, run by processor 0: bounding cube, insertion, and
+// bottom-up moments, all through simulated shared accesses.
+func (b *BH) buildTree(e *machine.Env) {
+	n := b.cfg.NBodies
+	// Bounding cube.
+	minv, maxv := math.Inf(1), math.Inf(-1)
+	var cx, cy, cz float64
+	for i := 0; i < n; i++ {
+		xi, yi, zi := b.x.Get(e, i), b.y.Get(e, i), b.z.Get(e, i)
+		for _, v := range [3]float64{xi, yi, zi} {
+			if v < minv {
+				minv = v
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+		cx += xi
+		cy += yi
+		cz += zi
+		e.Compute(apps.CostLoop + 6*apps.CostCheck)
+	}
+	half := (maxv-minv)/2 + 1e-9
+	ccx, ccy, ccz := (maxv+minv)/2, (maxv+minv)/2, (maxv+minv)/2
+	b.rootInfo.Set(e, 0, ccx)
+	b.rootInfo.Set(e, 1, ccy)
+	b.rootInfo.Set(e, 2, ccz)
+	b.rootInfo.Set(e, 3, half)
+
+	// Reset the root's children; other nodes are reset on allocation.
+	for c := 0; c < 8; c++ {
+		b.child.Set(e, c, 0)
+	}
+	nextNode := int64(1)
+
+	// Insert every body.
+	for i := 0; i < n; i++ {
+		xi, yi, zi := b.x.Get(e, i), b.y.Get(e, i), b.z.Get(e, i)
+		node, ncx, ncy, ncz, nh := int64(0), ccx, ccy, ccz, half
+		for depth := 0; ; depth++ {
+			if depth > 128 {
+				panic("barneshut: tree depth exceeded (coincident bodies?)")
+			}
+			oct, ocx, ocy, ocz := octant(xi, yi, zi, ncx, ncy, ncz, nh/2)
+			e.Compute(3*apps.CostCheck + 3*apps.CostFlop)
+			slot := int(node*8) + oct
+			v := b.child.Get(e, slot)
+			if v == 0 {
+				b.child.Set(e, slot, encBody(int64(i)))
+				break
+			}
+			if v > 0 { // internal: descend
+				node, ncx, ncy, ncz, nh = v-1, ocx, ocy, ocz, nh/2
+				continue
+			}
+			// Occupied by a leaf: split the cell.
+			other := -v - 1
+			if nextNode >= int64(b.maxNodes) {
+				panic("barneshut: out of tree nodes")
+			}
+			m := nextNode
+			nextNode++
+			for c := 0; c < 8; c++ {
+				b.child.Set(e, int(m*8)+c, 0)
+			}
+			ox, oy, oz := b.x.Get(e, int(other)), b.y.Get(e, int(other)), b.z.Get(e, int(other))
+			ooct, _, _, _ := octant(ox, oy, oz, ocx, ocy, ocz, nh/4)
+			b.child.Set(e, int(m*8)+ooct, encBody(other))
+			b.child.Set(e, slot, encNode(m))
+			node, ncx, ncy, ncz, nh = m, ocx, ocy, ocz, nh/2
+		}
+	}
+
+	// Bottom-up moments (post-order from the root).
+	b.moments(e, 0)
+}
+
+// moments computes a node's total mass and center of mass recursively.
+func (b *BH) moments(e *machine.Env, node int64) (m, cx, cy, cz float64) {
+	for c := 0; c < 8; c++ {
+		v := b.child.Get(e, int(node*8)+c)
+		switch {
+		case v == 0:
+		case v > 0:
+			cm, ccx, ccy, ccz := b.moments(e, v-1)
+			m += cm
+			cx += cm * ccx
+			cy += cm * ccy
+			cz += cm * ccz
+			e.Compute(7 * apps.CostFlop)
+		default:
+			bd := int(-v - 1)
+			bm := b.mass.Get(e, bd)
+			m += bm
+			cx += bm * b.x.Get(e, bd)
+			cy += bm * b.y.Get(e, bd)
+			cz += bm * b.z.Get(e, bd)
+			e.Compute(7 * apps.CostFlop)
+		}
+	}
+	if m > 0 {
+		cx /= m
+		cy /= m
+		cz /= m
+		e.Compute(3 * apps.CostDiv)
+	}
+	b.nmass.Set(e, int(node), m)
+	b.ncx.Set(e, int(node), cx)
+	b.ncy.Set(e, int(node), cy)
+	b.ncz.Set(e, int(node), cz)
+	return m, cx, cy, cz
+}
+
+// force accumulates the force on body i from the subtree rooted at node
+// (whose cell has the given center and side), using the theta opening
+// criterion.
+func (b *BH) force(e *machine.Env, i int, xi, yi, zi float64, node int64, ncx, ncy, ncz, size float64) (fx, fy, fz float64) {
+	for c := 0; c < 8; c++ {
+		v := b.child.Get(e, int(node*8)+c)
+		if v == 0 {
+			continue
+		}
+		ocx := ncx + off(int64(c&1))*size/4
+		ocy := ncy + off(int64((c>>1)&1))*size/4
+		ocz := ncz + off(int64((c>>2)&1))*size/4
+		if v < 0 {
+			bd := int(-v - 1)
+			if bd == i {
+				continue
+			}
+			gx, gy, gz := b.pair(e, xi, yi, zi, b.x.Get(e, bd), b.y.Get(e, bd), b.z.Get(e, bd), b.mass.Get(e, bd))
+			fx += gx
+			fy += gy
+			fz += gz
+			continue
+		}
+		k := v - 1
+		km := b.nmass.Get(e, int(k))
+		kx := b.ncx.Get(e, int(k))
+		ky := b.ncy.Get(e, int(k))
+		kz := b.ncz.Get(e, int(k))
+		dx, dy, dz := kx-xi, ky-yi, kz-zi
+		d2 := dx*dx + dy*dy + dz*dz + b.cfg.Eps2
+		childSize := size / 2
+		e.Compute(8*apps.CostFlop + apps.CostCheck)
+		if b.cfg.Theta > 0 && childSize*childSize < b.cfg.Theta*b.cfg.Theta*d2 {
+			// Accept the cell as a pseudo-body.
+			d := math.Sqrt(d2)
+			g := km / (d2 * d)
+			fx += g * dx
+			fy += g * dy
+			fz += g * dz
+			e.Compute(3*apps.CostFlop + apps.CostSqrt + apps.CostDiv)
+			continue
+		}
+		gx, gy, gz := b.force(e, i, xi, yi, zi, k, ocx, ocy, ocz, childSize)
+		fx += gx
+		fy += gy
+		fz += gz
+	}
+	return
+}
+
+// pair is the softened body-body kernel (mass of body i cancels against the
+// later division, so forces here are accelerations scaled by m_i = actually
+// force per unit of body i's mass times m_j; consistent with the reference).
+func (b *BH) pair(e *machine.Env, xi, yi, zi, xj, yj, zj, mj float64) (fx, fy, fz float64) {
+	dx, dy, dz := xj-xi, yj-yi, zj-zi
+	d2 := dx*dx + dy*dy + dz*dz + b.cfg.Eps2
+	d := math.Sqrt(d2)
+	g := mj / (d2 * d)
+	e.Compute(11*apps.CostFlop + apps.CostSqrt + apps.CostDiv)
+	return g * dx, g * dy, g * dz
+}
+
+func off(bit int64) float64 {
+	if bit == 0 {
+		return -1
+	}
+	return 1
+}
+
+// octant returns the child octant index of point (x,y,z) in the cell
+// centered at (cx,cy,cz), and the child cell's center (qh = quarter of the
+// parent's side = half of the child's).
+func octant(x, y, z, cx, cy, cz, qh float64) (oct int, ocx, ocy, ocz float64) {
+	ocx, ocy, ocz = cx-qh, cy-qh, cz-qh
+	if x >= cx {
+		oct |= 1
+		ocx = cx + qh
+	}
+	if y >= cy {
+		oct |= 2
+		ocy = cy + qh
+	}
+	if z >= cz {
+		oct |= 4
+		ocz = cz + qh
+	}
+	return
+}
+
+// Verify implements apps.App: the parallel run must reproduce the
+// sequential reference trajectory (same algorithm, same summation order)
+// within floating-point noise, and stay finite.
+func (b *BH) Verify(m *machine.Machine) error {
+	ref := Reference(b.cfg, b.init)
+	for i := 0; i < b.cfg.NBodies; i++ {
+		gx, gy, gz := m.PeekF64(b.x.At(i)), m.PeekF64(b.y.At(i)), m.PeekF64(b.z.At(i))
+		for _, v := range [3]float64{gx, gy, gz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("barneshut: body %d position not finite", i)
+			}
+		}
+		if !close3(gx, ref[i].X) || !close3(gy, ref[i].Y) || !close3(gz, ref[i].Z) {
+			return fmt.Errorf("barneshut: body %d = (%g,%g,%g), reference (%g,%g,%g)",
+				i, gx, gy, gz, ref[i].X, ref[i].Y, ref[i].Z)
+		}
+	}
+	return nil
+}
+
+func close3(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9+1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,208 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+func runBH(t *testing.T, kind memsys.Kind, cfg Config, procs int) (*BH, *machine.Machine) {
+	t.Helper()
+	app := New(cfg)
+	m := machine.MustNew(kind, memsys.Default(procs))
+	if _, err := apps.Run(app, m); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return app, m
+}
+
+func TestMatchesReferenceOnEverySystem(t *testing.T) {
+	for _, kind := range memsys.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			runBH(t, kind, Small(), 16)
+		})
+	}
+}
+
+func TestNoBoost(t *testing.T) {
+	cfg := Small()
+	cfg.BoostEvery = 0
+	runBH(t, memsys.KindRCAdapt, cfg, 16)
+}
+
+func TestSingleProc(t *testing.T) {
+	cfg := Small()
+	cfg.NBodies = 16
+	cfg.Steps = 2
+	runBH(t, memsys.KindRCInv, cfg, 1)
+}
+
+func TestFourProcs(t *testing.T) {
+	runBH(t, memsys.KindRCUpd, Small(), 4)
+}
+
+func TestInitialConditionsDeterministic(t *testing.T) {
+	a := InitialBodies(Small())
+	b := InitialBodies(Small())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("initial conditions not deterministic")
+		}
+	}
+}
+
+func TestInitialMomentumNearZero(t *testing.T) {
+	bodies := InitialBodies(Paper())
+	var px, py, pz float64
+	for _, b := range bodies {
+		px += b.M * b.VX
+		py += b.M * b.VY
+		pz += b.M * b.VZ
+	}
+	for _, p := range [3]float64{px, py, pz} {
+		if math.Abs(p) > 1e-12 {
+			t.Fatalf("net momentum (%g,%g,%g) not cancelled", px, py, pz)
+		}
+	}
+}
+
+func TestInitialBodiesInUnitBall(t *testing.T) {
+	for i, b := range InitialBodies(Paper()) {
+		if b.X*b.X+b.Y*b.Y+b.Z*b.Z > 1+1e-12 {
+			t.Fatalf("body %d outside the unit ball", i)
+		}
+		if b.M <= 0 {
+			t.Fatalf("body %d has non-positive mass", i)
+		}
+	}
+}
+
+// The tree code with theta=0 opens every cell: forces must equal the O(n²)
+// direct sum (up to summation-order noise).
+func TestTreeExactWhenThetaZero(t *testing.T) {
+	cfg := Config{NBodies: 24, Steps: 1, Theta: 0, Dt: 0, Eps2: 0.05, Seed: 3}
+	init := InitialBodies(cfg)
+	// One zero-dt step leaves positions unchanged; recompute the reference
+	// forces directly for comparison.
+	fx, fy, fz := DirectForces(init, cfg.Eps2)
+
+	app := New(cfg)
+	m := machine.MustNew(memsys.KindPRAM, memsys.Default(8))
+	if _, err := apps.Run(app, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NBodies; i++ {
+		gx := m.PeekF64(app.fx.At(i))
+		gy := m.PeekF64(app.fy.At(i))
+		gz := m.PeekF64(app.fz.At(i))
+		if !approx(gx, fx[i]) || !approx(gy, fy[i]) || !approx(gz, fz[i]) {
+			t.Fatalf("body %d force (%g,%g,%g) != direct (%g,%g,%g)",
+				i, gx, gy, gz, fx[i], fy[i], fz[i])
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9+1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// The theta approximation should be close to the direct sum.
+func TestThetaApproximationBounded(t *testing.T) {
+	cfg := Small()
+	init := InitialBodies(cfg)
+	fx, fy, fz := DirectForces(init, cfg.Eps2)
+	ref := Reference(Config{NBodies: cfg.NBodies, Steps: 1, Theta: cfg.Theta, Dt: 0, Eps2: cfg.Eps2, Seed: cfg.Seed}, init)
+	_ = ref // positions unchanged with dt=0; compare via a fresh force pass
+	// Build one reference step with dt=0 is not enough to expose forces, so
+	// bound the approximation by comparing trajectories instead: a few
+	// steps with theta=0.5 vs theta=0 should stay within a few percent.
+	a := Reference(cfg, init)
+	exact := cfg
+	exact.Theta = 0
+	b := Reference(exact, init)
+	var maxErr, scale float64
+	for i := range a {
+		maxErr = math.Max(maxErr, math.Abs(a[i].X-b[i].X))
+		scale = math.Max(scale, math.Abs(b[i].X))
+	}
+	if maxErr > 0.05*math.Max(scale, 1) {
+		t.Fatalf("theta=%.2f trajectory deviates %g (scale %g)", cfg.Theta, maxErr, scale)
+	}
+	_ = fx
+	_ = fy
+	_ = fz
+}
+
+func TestOwnerRotationCoversAllProcs(t *testing.T) {
+	n, np := 128, 16
+	for rot := 0; rot < 4; rot++ {
+		count := make([]int, np)
+		for i := 0; i < n; i++ {
+			o := owner(i, n, np, rot)
+			if o < 0 || o >= np {
+				t.Fatalf("owner out of range: %d", o)
+			}
+			count[o]++
+		}
+		for p, c := range count {
+			if c != n/np {
+				t.Fatalf("rot %d: proc %d owns %d bodies, want %d", rot, p, c, n/np)
+			}
+		}
+	}
+	// Rotation must actually change ownership (the boost's purpose).
+	if owner(0, n, np, 0) == owner(0, n, np, 1) {
+		t.Fatal("rotation did not change ownership")
+	}
+}
+
+func TestBoostChangesSharingPattern(t *testing.T) {
+	// With the boost, the adaptive protocol must observe phase changes
+	// (re-initializations); without it, far fewer.
+	run := func(boost int) uint64 {
+		cfg := Small()
+		cfg.BoostEvery = boost
+		app := New(cfg)
+		m := machine.MustNew(memsys.KindRCAdapt, memsys.Default(16))
+		if _, err := apps.Run(app, m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Mem.Counters().SelfInvalidations
+	}
+	withBoost := run(1)
+	if withBoost == 0 {
+		t.Fatal("boost produced no adaptive re-initializations")
+	}
+}
+
+func TestOctant(t *testing.T) {
+	oct, ox, oy, oz := octant(1, -1, 1, 0, 0, 0, 0.5)
+	if oct != 1|4 {
+		t.Fatalf("octant = %d, want %d", oct, 1|4)
+	}
+	if ox != 0.5 || oy != -0.5 || oz != 0.5 {
+		t.Fatalf("child center = (%g,%g,%g)", ox, oy, oz)
+	}
+}
+
+func TestEncoding(t *testing.T) {
+	if encNode(0) != 1 || encBody(0) != -1 {
+		t.Fatal("encoding broken")
+	}
+	if encNode(5)-1 != 5 || -encBody(7)-1 != 7 {
+		t.Fatal("decoding broken")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{NBodies: 1, Steps: 1})
+}

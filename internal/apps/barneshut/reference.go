@@ -1,0 +1,194 @@
+package barneshut
+
+import "math"
+
+// Reference runs the identical Barnes-Hut algorithm sequentially on plain
+// Go slices — same insertion order, same traversal order, same arithmetic —
+// and returns the final body states. Because the parallel version computes
+// each body's force with exactly the same summation order, the two agree to
+// floating-point identity (verification uses a small tolerance regardless).
+func Reference(cfg Config, init []Body) []Body {
+	bodies := append([]Body(nil), init...)
+	n := len(bodies)
+	maxNodes := 8*n + 64
+	child := make([]int64, 8*maxNodes)
+	nmass := make([]float64, maxNodes)
+	ncx := make([]float64, maxNodes)
+	ncy := make([]float64, maxNodes)
+	ncz := make([]float64, maxNodes)
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	fz := make([]float64, n)
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Bounding cube.
+		minv, maxv := math.Inf(1), math.Inf(-1)
+		for i := range bodies {
+			for _, v := range [3]float64{bodies[i].X, bodies[i].Y, bodies[i].Z} {
+				if v < minv {
+					minv = v
+				}
+				if v > maxv {
+					maxv = v
+				}
+			}
+		}
+		half := (maxv-minv)/2 + 1e-9
+		ccx, ccy, ccz := (maxv+minv)/2, (maxv+minv)/2, (maxv+minv)/2
+
+		for c := 0; c < 8; c++ {
+			child[c] = 0
+		}
+		nextNode := int64(1)
+
+		// Insert.
+		for i := range bodies {
+			xi, yi, zi := bodies[i].X, bodies[i].Y, bodies[i].Z
+			node, cx, cy, cz, nh := int64(0), ccx, ccy, ccz, half
+			for {
+				oct, ocx, ocy, ocz := octant(xi, yi, zi, cx, cy, cz, nh/2)
+				slot := int(node*8) + oct
+				v := child[slot]
+				if v == 0 {
+					child[slot] = encBody(int64(i))
+					break
+				}
+				if v > 0 {
+					node, cx, cy, cz, nh = v-1, ocx, ocy, ocz, nh/2
+					continue
+				}
+				other := -v - 1
+				m := nextNode
+				nextNode++
+				for c := 0; c < 8; c++ {
+					child[int(m*8)+c] = 0
+				}
+				ob := bodies[other]
+				ooct, _, _, _ := octant(ob.X, ob.Y, ob.Z, ocx, ocy, ocz, nh/4)
+				child[int(m*8)+ooct] = encBody(other)
+				child[slot] = encNode(m)
+				node, cx, cy, cz, nh = m, ocx, ocy, ocz, nh/2
+			}
+		}
+
+		// Moments.
+		var moments func(node int64) (m, cx, cy, cz float64)
+		moments = func(node int64) (m, cx, cy, cz float64) {
+			for c := 0; c < 8; c++ {
+				v := child[int(node*8)+c]
+				switch {
+				case v == 0:
+				case v > 0:
+					cm, cxx, cyy, czz := moments(v - 1)
+					m += cm
+					cx += cm * cxx
+					cy += cm * cyy
+					cz += cm * czz
+				default:
+					bd := -v - 1
+					bm := bodies[bd].M
+					m += bm
+					cx += bm * bodies[bd].X
+					cy += bm * bodies[bd].Y
+					cz += bm * bodies[bd].Z
+				}
+			}
+			if m > 0 {
+				cx /= m
+				cy /= m
+				cz /= m
+			}
+			nmass[node] = m
+			ncx[node] = cx
+			ncy[node] = cy
+			ncz[node] = cz
+			return
+		}
+		moments(0)
+
+		// Forces.
+		var force func(i int, xi, yi, zi float64, node int64, cx, cy, cz, size float64) (fx, fy, fz float64)
+		force = func(i int, xi, yi, zi float64, node int64, cx, cy, cz, size float64) (gfx, gfy, gfz float64) {
+			for c := 0; c < 8; c++ {
+				v := child[int(node*8)+c]
+				if v == 0 {
+					continue
+				}
+				ocx := cx + off(int64(c&1))*size/4
+				ocy := cy + off(int64((c>>1)&1))*size/4
+				ocz := cz + off(int64((c>>2)&1))*size/4
+				if v < 0 {
+					bd := int(-v - 1)
+					if bd == i {
+						continue
+					}
+					dx, dy, dz := bodies[bd].X-xi, bodies[bd].Y-yi, bodies[bd].Z-zi
+					d2 := dx*dx + dy*dy + dz*dz + cfg.Eps2
+					d := math.Sqrt(d2)
+					g := bodies[bd].M / (d2 * d)
+					gfx += g * dx
+					gfy += g * dy
+					gfz += g * dz
+					continue
+				}
+				k := v - 1
+				dx, dy, dz := ncx[k]-xi, ncy[k]-yi, ncz[k]-zi
+				d2 := dx*dx + dy*dy + dz*dz + cfg.Eps2
+				childSize := size / 2
+				if cfg.Theta > 0 && childSize*childSize < cfg.Theta*cfg.Theta*d2 {
+					d := math.Sqrt(d2)
+					g := nmass[k] / (d2 * d)
+					gfx += g * dx
+					gfy += g * dy
+					gfz += g * dz
+					continue
+				}
+				hx, hy, hz := force(i, xi, yi, zi, k, ocx, ocy, ocz, childSize)
+				gfx += hx
+				gfy += hy
+				gfz += hz
+			}
+			return
+		}
+		for i := range bodies {
+			fx[i], fy[i], fz[i] = force(i, bodies[i].X, bodies[i].Y, bodies[i].Z, 0, ccx, ccy, ccz, 2*half)
+		}
+
+		// Integrate.
+		for i := range bodies {
+			b := &bodies[i]
+			b.VX += fx[i] / b.M * cfg.Dt
+			b.VY += fy[i] / b.M * cfg.Dt
+			b.VZ += fz[i] / b.M * cfg.Dt
+			b.X += b.VX * cfg.Dt
+			b.Y += b.VY * cfg.Dt
+			b.Z += b.VZ * cfg.Dt
+		}
+	}
+	return bodies
+}
+
+// DirectForces computes exact pairwise (softened) forces for the given
+// bodies — the O(n²) oracle used to bound the tree code's approximation
+// error in tests.
+func DirectForces(bodies []Body, eps2 float64) (fx, fy, fz []float64) {
+	n := len(bodies)
+	fx = make([]float64, n)
+	fy = make([]float64, n)
+	fz = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx, dy, dz := bodies[j].X-bodies[i].X, bodies[j].Y-bodies[i].Y, bodies[j].Z-bodies[i].Z
+			d2 := dx*dx + dy*dy + dz*dz + eps2
+			d := math.Sqrt(d2)
+			g := bodies[j].M / (d2 * d)
+			fx[i] += g * dx
+			fy[i] += g * dy
+			fz[i] += g * dz
+		}
+	}
+	return
+}

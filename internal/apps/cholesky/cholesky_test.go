@@ -1,0 +1,206 @@
+package cholesky
+
+import (
+	"testing"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+func runCH(t *testing.T, kind memsys.Kind, cfg Config, procs int) *CH {
+	t.Helper()
+	app := New(cfg)
+	m := machine.MustNew(kind, memsys.Default(procs))
+	if _, err := apps.Run(app, m); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return app
+}
+
+func TestCorrectOnEverySystem(t *testing.T) {
+	for _, kind := range memsys.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			runCH(t, kind, Small(), 16)
+		})
+	}
+}
+
+func TestSingleProc(t *testing.T) {
+	runCH(t, memsys.KindRCInv, Config{Grid: 5}, 1)
+}
+
+func TestFourProcs(t *testing.T) {
+	runCH(t, memsys.KindRCUpd, Config{Grid: 6}, 4)
+}
+
+func TestMediumGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium grid in -short mode")
+	}
+	runCH(t, memsys.KindRCAdapt, Config{Grid: 12}, 16)
+}
+
+func TestGridLaplacianShape(t *testing.T) {
+	m := GridLaplacian(3)
+	if m.N != 9 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Corner vertex 0: diagonal 4, neighbors 1 (right) and 3 (down).
+	if m.RowIdx[m.ColPtr[0]] != 0 || m.Val[m.ColPtr[0]] != 4 {
+		t.Fatal("diagonal must come first with value 4")
+	}
+	rows := m.RowIdx[m.ColPtr[0]:m.ColPtr[1]]
+	if len(rows) != 3 || rows[1] != 1 || rows[2] != 3 {
+		t.Fatalf("column 0 rows = %v, want [0 1 3]", rows)
+	}
+	// Last column: only the diagonal (no lower neighbors).
+	if m.ColPtr[9]-m.ColPtr[8] != 1 {
+		t.Fatal("last column should hold only its diagonal")
+	}
+}
+
+func TestAnalyzeEliminationTree(t *testing.T) {
+	m := GridLaplacian(3)
+	s := Analyze(m)
+	// Every parent is the first below-diagonal row of the column.
+	for j := 0; j < s.N; j++ {
+		rows := s.ColRows(j)
+		if rows[0] != j {
+			t.Fatalf("column %d: diagonal not first", j)
+		}
+		if len(rows) > 1 {
+			if s.Parent[j] != rows[1] {
+				t.Fatalf("parent[%d] = %d, want %d", j, s.Parent[j], rows[1])
+			}
+		} else if s.Parent[j] != -1 {
+			t.Fatalf("parent of last column = %d, want -1", s.Parent[j])
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i] <= rows[i-1] {
+				t.Fatalf("column %d rows not ascending: %v", j, rows)
+			}
+		}
+	}
+}
+
+func TestFactorPatternContainsA(t *testing.T) {
+	m := GridLaplacian(5)
+	s := Analyze(m)
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			if findRow(s, j, m.RowIdx[p]) < 0 {
+				t.Fatalf("A(%d,%d) missing from the factor pattern", m.RowIdx[p], j)
+			}
+		}
+	}
+	if s.NNZ() < len(m.RowIdx) {
+		t.Fatal("factor cannot have fewer nonzeros than A")
+	}
+}
+
+// The defining supernode property: struct(j) = {j} ∪ struct(j+1) for
+// consecutive columns of a supernode. The parallel internal update relies
+// on this alignment.
+func TestSupernodeNesting(t *testing.T) {
+	m := GridLaplacian(8)
+	s := Analyze(m)
+	for sn := 0; sn < s.NS(); sn++ {
+		lo, hi := s.SnodeCols(sn)
+		if lo > hi {
+			t.Fatalf("supernode %d empty", sn)
+		}
+		for j := lo; j < hi; j++ {
+			a, b := s.ColRows(j), s.ColRows(j+1)
+			if len(a) != len(b)+1 {
+				t.Fatalf("supernode %d: |struct(%d)| = %d, |struct(%d)| = %d", sn, j, len(a), j+1, len(b))
+			}
+			for i, r := range b {
+				if a[i+1] != r {
+					t.Fatalf("supernode %d: struct(%d) not nested in struct(%d)", sn, j+1, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSupernodePartition(t *testing.T) {
+	s := Analyze(GridLaplacian(6))
+	// SnodeStart must partition [0,n).
+	if s.SnodeStart[0] != 0 || s.SnodeStart[s.NS()] != s.N {
+		t.Fatal("supernode boundaries do not span the columns")
+	}
+	for sn := 0; sn < s.NS(); sn++ {
+		lo, hi := s.SnodeCols(sn)
+		for j := lo; j <= hi; j++ {
+			if s.Snode[j] != sn {
+				t.Fatalf("column %d mapped to supernode %d, want %d", j, s.Snode[j], sn)
+			}
+		}
+	}
+}
+
+func TestDependencyCountsConsistent(t *testing.T) {
+	s := Analyze(GridLaplacian(7))
+	counts := make([]int, s.NS())
+	for sn := 0; sn < s.NS(); sn++ {
+		for _, tgt := range s.Targets[sn] {
+			if tgt <= sn {
+				t.Fatalf("supernode %d targets earlier/self supernode %d", sn, tgt)
+			}
+			counts[tgt]++
+		}
+	}
+	for sn, want := range counts {
+		if s.DepCount[sn] != want {
+			t.Fatalf("DepCount[%d] = %d, want %d", sn, s.DepCount[sn], want)
+		}
+	}
+	// At least one leaf exists (the schedule can start).
+	leaves := 0
+	for _, d := range s.DepCount {
+		if d == 0 {
+			leaves++
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leaf supernodes")
+	}
+}
+
+func TestSequentialFactorCorrect(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8} {
+		m := GridLaplacian(k)
+		s := Analyze(m)
+		val := SequentialFactor(m, s)
+		if err := CheckFactor(m, s, val); err != nil {
+			t.Fatalf("grid %d: %v", k, err)
+		}
+	}
+}
+
+func TestPaperScaleSymbolic(t *testing.T) {
+	// The paper's matrix: 1086 columns, 506 supernodes, 110K factor
+	// nonzeros. Our 33×33 Laplacian should land in the same regime.
+	s := Analyze(GridLaplacian(33))
+	if s.N != 1089 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.NS() < 100 || s.NS() > 1089 {
+		t.Fatalf("supernodes = %d, expected a few hundred", s.NS())
+	}
+	if s.NNZ() < 10000 {
+		t.Fatalf("factor nonzeros = %d, expected tens of thousands", s.NNZ())
+	}
+	t.Logf("n=%d supernodes=%d nnz(L)=%d", s.N, s.NS(), s.NNZ())
+}
+
+func TestGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GridLaplacian(1)
+}

@@ -1,0 +1,98 @@
+package cholesky
+
+import (
+	"math"
+	"testing"
+)
+
+// Hand-computed factorization of the 2x2 grid Laplacian:
+//
+//	A = [ 4 -1 -1  0
+//	     -1  4  0 -1
+//	     -1  0  4 -1
+//	      0 -1 -1  4 ]
+//
+// L computed by hand (lower-triangular Cholesky).
+func TestSequentialFactorHandChecked(t *testing.T) {
+	m := GridLaplacian(2)
+	s := Analyze(m)
+	val := SequentialFactor(m, s)
+
+	get := func(r, c int) float64 {
+		p := findRow(s, c, r)
+		if p < 0 {
+			return 0
+		}
+		return val[p]
+	}
+
+	l00 := 2.0 // sqrt(4)
+	if !close(get(0, 0), l00) {
+		t.Fatalf("L00 = %g, want %g", get(0, 0), l00)
+	}
+	l10 := -0.5 // -1/2
+	if !close(get(1, 0), l10) {
+		t.Fatalf("L10 = %g, want %g", get(1, 0), l10)
+	}
+	l11 := math.Sqrt(4 - 0.25) // sqrt(3.75)
+	if !close(get(1, 1), l11) {
+		t.Fatalf("L11 = %g, want %g", get(1, 1), l11)
+	}
+	l20 := -0.5
+	if !close(get(2, 0), l20) {
+		t.Fatalf("L20 = %g, want %g", get(2, 0), l20)
+	}
+	// L21 = (A21 - L20*L10)/L11 = (0 - 0.25)/sqrt(3.75)
+	l21 := -0.25 / l11
+	if !close(get(2, 1), l21) {
+		t.Fatalf("L21 = %g, want %g", get(2, 1), l21)
+	}
+	l22 := math.Sqrt(4 - l20*l20 - l21*l21)
+	if !close(get(2, 2), l22) {
+		t.Fatalf("L22 = %g, want %g", get(2, 2), l22)
+	}
+	// L31 = (A31 - 0)/L11 ; A31 = -1.
+	l31 := -1 / l11
+	if !close(get(3, 1), l31) {
+		t.Fatalf("L31 = %g, want %g", get(3, 1), l31)
+	}
+	l32 := (-1 - l21*l31) / l22
+	if !close(get(3, 2), l32) {
+		t.Fatalf("L32 = %g, want %g", get(3, 2), l32)
+	}
+	l33 := math.Sqrt(4 - l31*l31 - l32*l32)
+	if !close(get(3, 3), l33) {
+		t.Fatalf("L33 = %g, want %g", get(3, 3), l33)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
+// The 2x2 grid fills in completely below the diagonal of column 1 (the
+// (2,1) entry is a fill position: A21 = 0 but L21 != 0).
+func TestFillPositionsAppear(t *testing.T) {
+	m := GridLaplacian(2)
+	s := Analyze(m)
+	if findRow(s, 1, 2) < 0 {
+		t.Fatal("fill entry (2,1) missing from the symbolic factor")
+	}
+	// And it was zero in A.
+	for p := m.ColPtr[1]; p < m.ColPtr[2]; p++ {
+		if m.RowIdx[p] == 2 {
+			t.Fatal("(2,1) should not be an original entry")
+		}
+	}
+}
+
+// Non-positive-definite input must be rejected loudly.
+func TestFactorRejectsIndefinite(t *testing.T) {
+	m := GridLaplacian(2)
+	m.Val[0] = -4 // break SPD
+	s := Analyze(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for an indefinite matrix")
+		}
+	}()
+	SequentialFactor(m, s)
+}

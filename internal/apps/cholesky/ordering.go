@@ -1,0 +1,137 @@
+package cholesky
+
+import "fmt"
+
+// Fill-reducing ordering. The paper's matrix comes pre-ordered (506
+// supernodes over 1086 columns); our grid Laplacian supports two orderings
+// so the harness can show how the ordering reshapes the factorization's
+// communication pattern: "natural" (row-major, a band matrix — long thin
+// supernodes, pipeline-ish dependencies) and "nd" (nested dissection —
+// less fill, a wide elimination tree with more task parallelism).
+
+// NDOrder returns the nested-dissection elimination order for the k×k
+// grid: ord[i] is the grid cell (row-major index) eliminated at step i.
+// Regions are ordered recursively before their separating line, so
+// separators (which couple the regions) are eliminated last.
+func NDOrder(k int) []int {
+	if k < 2 {
+		panic(fmt.Sprintf("cholesky: grid %d too small", k))
+	}
+	ord := make([]int, 0, k*k)
+	var rec func(x0, x1, y0, y1 int)
+	emitAll := func(x0, x1, y0, y1 int) {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				ord = append(ord, y*k+x)
+			}
+		}
+	}
+	rec = func(x0, x1, y0, y1 int) {
+		w, h := x1-x0+1, y1-y0+1
+		if w <= 0 || h <= 0 {
+			return
+		}
+		if w <= 2 && h <= 2 {
+			emitAll(x0, x1, y0, y1)
+			return
+		}
+		if w >= h {
+			// Vertical separator at the middle column.
+			mid := (x0 + x1) / 2
+			rec(x0, mid-1, y0, y1)
+			rec(mid+1, x1, y0, y1)
+			emitAll(mid, mid, y0, y1)
+		} else {
+			// Horizontal separator at the middle row.
+			mid := (y0 + y1) / 2
+			rec(x0, x1, y0, mid-1)
+			rec(x0, x1, mid+1, y1)
+			emitAll(x0, x1, mid, mid)
+		}
+	}
+	rec(0, k-1, 0, k-1)
+	return ord
+}
+
+// NaturalOrder returns the identity (row-major) ordering.
+func NaturalOrder(k int) []int {
+	ord := make([]int, k*k)
+	for i := range ord {
+		ord[i] = i
+	}
+	return ord
+}
+
+// PermuteMatrix returns P·A·Pᵀ for the given elimination order
+// (ord[new] = old), in the package's lower-triangular column form.
+func PermuteMatrix(m *Matrix, ord []int) *Matrix {
+	if len(ord) != m.N {
+		panic(fmt.Sprintf("cholesky: ordering of %d for a %d-column matrix", len(ord), m.N))
+	}
+	inv := make([]int, m.N)
+	for newIdx, oldIdx := range ord {
+		inv[oldIdx] = newIdx
+	}
+	// Gather full symmetric entries per new column.
+	cols := make([][]entry, m.N)
+	addLower := func(r, c int, v float64) {
+		if r >= c {
+			cols[c] = append(cols[c], entry{row: r, val: v})
+		}
+	}
+	for oldC := 0; oldC < m.N; oldC++ {
+		for p := m.ColPtr[oldC]; p < m.ColPtr[oldC+1]; p++ {
+			oldR := m.RowIdx[p]
+			v := m.Val[p]
+			nr, nc := inv[oldR], inv[oldC]
+			addLower(nr, nc, v)
+			if oldR != oldC {
+				addLower(nc, nr, v)
+			}
+		}
+	}
+	out := &Matrix{N: m.N, ColPtr: make([]int, m.N+1)}
+	for c := 0; c < m.N; c++ {
+		insertionSortEntries(cols[c])
+		out.ColPtr[c] = len(out.RowIdx)
+		for _, e := range cols[c] {
+			out.RowIdx = append(out.RowIdx, e.row)
+			out.Val = append(out.Val, e.val)
+		}
+	}
+	out.ColPtr[m.N] = len(out.RowIdx)
+	return out
+}
+
+// entry is a (row, value) pair used while permuting.
+type entry struct {
+	row int
+	val float64
+}
+
+func insertionSortEntries(a []entry) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j].row > v.row {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// IsPermutation reports whether ord is a permutation of [0, n).
+func IsPermutation(ord []int, n int) bool {
+	if len(ord) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range ord {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package cholesky
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+func TestNDOrderIsPermutation(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 8, 16, 33} {
+		ord := NDOrder(k)
+		if !IsPermutation(ord, k*k) {
+			t.Fatalf("grid %d: NDOrder is not a permutation", k)
+		}
+	}
+}
+
+func TestNaturalOrderIdentity(t *testing.T) {
+	ord := NaturalOrder(4)
+	for i, v := range ord {
+		if v != i {
+			t.Fatalf("natural order not identity: %v", ord)
+		}
+	}
+}
+
+func TestNDSeparatorLast(t *testing.T) {
+	// For a 5x5 grid the first vertical separator is column 2; its cells
+	// must be eliminated after both halves.
+	k := 5
+	ord := NDOrder(k)
+	pos := make([]int, k*k)
+	for i, cell := range ord {
+		pos[cell] = i
+	}
+	for y := 0; y < k; y++ {
+		sep := pos[y*k+2]
+		for x := 0; x < k; x++ {
+			if x == 2 {
+				continue
+			}
+			if pos[y*k+x] > sep {
+				t.Fatalf("cell (%d,%d) eliminated after the separator", x, y)
+			}
+		}
+	}
+}
+
+func TestPermuteMatrixPreservesEntries(t *testing.T) {
+	m := GridLaplacian(4)
+	ord := NDOrder(4)
+	pm := PermuteMatrix(m, ord)
+	if pm.N != m.N {
+		t.Fatalf("N changed: %d", pm.N)
+	}
+	if len(pm.RowIdx) != len(m.RowIdx) {
+		t.Fatalf("nonzero count changed: %d vs %d", len(pm.RowIdx), len(m.RowIdx))
+	}
+	// Every column: diagonal first, value 4, rows ascending.
+	for j := 0; j < pm.N; j++ {
+		rows := pm.RowIdx[pm.ColPtr[j]:pm.ColPtr[j+1]]
+		if rows[0] != j || pm.Val[pm.ColPtr[j]] != 4 {
+			t.Fatalf("column %d: diagonal wrong", j)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i] <= rows[i-1] {
+				t.Fatalf("column %d rows not ascending: %v", j, rows)
+			}
+			if pm.Val[pm.ColPtr[j]+i] != -1 {
+				t.Fatalf("off-diagonal value wrong")
+			}
+		}
+	}
+}
+
+// Property: permuting by any random permutation keeps the matrix
+// factorizable (SPD is invariant under symmetric permutation).
+func TestPermutedStillSPDProperty(t *testing.T) {
+	f := func(seedBytes []byte) bool {
+		k := 4
+		m := GridLaplacian(k)
+		// Build a permutation from the random bytes (Fisher-Yates-ish).
+		ord := NaturalOrder(k)
+		for i := range ord {
+			if len(seedBytes) == 0 {
+				break
+			}
+			j := int(seedBytes[i%len(seedBytes)]) % (i + 1)
+			ord[i], ord[j] = ord[j], ord[i]
+		}
+		pm := PermuteMatrix(m, ord)
+		s := Analyze(pm)
+		val := SequentialFactor(pm, s) // panics if not SPD
+		return CheckFactor(pm, s, val) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Nested dissection must reduce fill versus the natural band ordering once
+// the grid is big enough.
+func TestNDReducesFill(t *testing.T) {
+	k := 16
+	nat := Analyze(GridLaplacian(k))
+	nd := Analyze(PermuteMatrix(GridLaplacian(k), NDOrder(k)))
+	if nd.NNZ() >= nat.NNZ() {
+		t.Fatalf("nd fill %d not below natural %d", nd.NNZ(), nat.NNZ())
+	}
+	t.Logf("grid %d: natural nnz(L)=%d, nd nnz(L)=%d", k, nat.NNZ(), nd.NNZ())
+}
+
+func TestAppCorrectWithNDOrdering(t *testing.T) {
+	for _, kind := range []memsys.Kind{memsys.KindRCInv, memsys.KindRCUpd, memsys.KindZMachine} {
+		app := New(Config{Grid: 8, Ordering: "nd"})
+		m := machine.MustNew(kind, memsys.Default(16))
+		if _, err := apps.Run(app, m); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestUnknownOrderingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Grid: 4, Ordering: "amd"})
+}

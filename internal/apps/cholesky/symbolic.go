@@ -1,0 +1,268 @@
+package cholesky
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a sparse symmetric positive definite matrix in
+// lower-triangular compressed-column form (diagonal first in each column).
+type Matrix struct {
+	N      int
+	ColPtr []int // length N+1
+	RowIdx []int // ascending within a column; RowIdx[ColPtr[j]] == j
+	Val    []float64
+}
+
+// GridLaplacian builds the k×k 5-point grid Laplacian with Dirichlet
+// boundary (diag 4, grid-neighbor off-diagonals −1): a sparse SPD matrix of
+// the same character as the paper's 1086-column test matrix (k=33 gives
+// n=1089). Only the lower triangle is stored.
+func GridLaplacian(k int) *Matrix {
+	if k < 2 {
+		panic(fmt.Sprintf("cholesky: grid %d too small", k))
+	}
+	n := k * k
+	m := &Matrix{N: n, ColPtr: make([]int, n+1)}
+	at := func(r, c int) int { return r*k + c }
+	for j := 0; j < n; j++ {
+		m.ColPtr[j] = len(m.RowIdx)
+		r, c := j/k, j%k
+		m.RowIdx = append(m.RowIdx, j)
+		m.Val = append(m.Val, 4)
+		// Lower-triangle neighbors (larger linear index): right and down.
+		if c+1 < k {
+			m.RowIdx = append(m.RowIdx, at(r, c+1))
+			m.Val = append(m.Val, -1)
+		}
+		if r+1 < k {
+			m.RowIdx = append(m.RowIdx, at(r+1, c))
+			m.Val = append(m.Val, -1)
+		}
+	}
+	m.ColPtr[n] = len(m.RowIdx)
+	return m
+}
+
+// Sym is the symbolic factorization: the factor's pattern, the elimination
+// tree, the supernode partition, and the supernodal task dependencies.
+type Sym struct {
+	N      int
+	ColPtr []int // factor column pointers, length N+1
+	RowIdx []int // factor row indices, ascending, diagonal first
+	Parent []int // elimination tree (-1 at roots)
+
+	Snode      []int   // column -> supernode id
+	SnodeStart []int   // supernode id -> first column; length NS+1
+	Targets    [][]int // supernode -> distinct later supernodes it updates
+	DepCount   []int   // supernode -> number of distinct source supernodes
+}
+
+// NS returns the number of supernodes.
+func (s *Sym) NS() int { return len(s.SnodeStart) - 1 }
+
+// NNZ returns the factor's stored nonzeros.
+func (s *Sym) NNZ() int { return len(s.RowIdx) }
+
+// ColRows returns column j's factor row indices (ascending, j first).
+func (s *Sym) ColRows(j int) []int { return s.RowIdx[s.ColPtr[j]:s.ColPtr[j+1]] }
+
+// SnodeCols returns the [first, last] column range of supernode sn.
+func (s *Sym) SnodeCols(sn int) (lo, hi int) { return s.SnodeStart[sn], s.SnodeStart[sn+1] - 1 }
+
+// Analyze computes the symbolic factorization of m.
+func Analyze(m *Matrix) *Sym {
+	n := m.N
+	s := &Sym{N: n, ColPtr: make([]int, n+1), Parent: make([]int, n)}
+	children := make([][]int, n)
+	patterns := make([][]int, n) // struct(j) excluding j, ascending
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		var pat []int
+		mark[j] = j
+		// A's pattern below the diagonal.
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			r := m.RowIdx[p]
+			if r > j && mark[r] != j {
+				mark[r] = j
+				pat = append(pat, r)
+			}
+		}
+		// Children's patterns (rows > j).
+		for _, c := range children[j] {
+			for _, r := range patterns[c] {
+				if r > j && mark[r] != j {
+					mark[r] = j
+					pat = append(pat, r)
+				}
+			}
+		}
+		insertionSort(pat)
+		patterns[j] = pat
+		if len(pat) > 0 {
+			s.Parent[j] = pat[0]
+			children[pat[0]] = append(children[pat[0]], j)
+		} else {
+			s.Parent[j] = -1
+		}
+	}
+	// Assemble the compressed pattern (diagonal first).
+	for j := 0; j < n; j++ {
+		s.ColPtr[j] = len(s.RowIdx)
+		s.RowIdx = append(s.RowIdx, j)
+		s.RowIdx = append(s.RowIdx, patterns[j]...)
+	}
+	s.ColPtr[n] = len(s.RowIdx)
+
+	s.findSupernodes(patterns)
+	s.findTargets()
+	return s
+}
+
+// findSupernodes merges consecutive columns with nested structure:
+// struct(j) \ {j+1} == struct(j+1) and parent(j) == j+1.
+func (s *Sym) findSupernodes(patterns [][]int) {
+	n := s.N
+	s.Snode = make([]int, n)
+	s.SnodeStart = []int{0}
+	for j := 1; j < n; j++ {
+		join := s.Parent[j-1] == j && len(patterns[j-1]) == len(patterns[j])+1
+		if join {
+			// patterns[j-1] = {j} ∪ patterns[j]?
+			for i, r := range patterns[j] {
+				if patterns[j-1][i+1] != r {
+					join = false
+					break
+				}
+			}
+		}
+		if !join {
+			s.SnodeStart = append(s.SnodeStart, j)
+		}
+		s.Snode[j] = len(s.SnodeStart) - 1
+	}
+	s.SnodeStart = append(s.SnodeStart, n)
+	for sn := 0; sn < s.NS(); sn++ {
+		for j := s.SnodeStart[sn]; j < s.SnodeStart[sn+1]; j++ {
+			s.Snode[j] = sn
+		}
+	}
+}
+
+// findTargets computes, per supernode, the distinct later supernodes whose
+// columns it updates, and each supernode's dependency count.
+func (s *Sym) findTargets() {
+	ns := s.NS()
+	s.Targets = make([][]int, ns)
+	s.DepCount = make([]int, ns)
+	seen := make([]int, ns)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for sn := 0; sn < ns; sn++ {
+		lo, hi := s.SnodeCols(sn)
+		for j := lo; j <= hi; j++ {
+			for _, r := range s.ColRows(j)[1:] {
+				t := s.Snode[r]
+				if t != sn && seen[t] != sn {
+					seen[t] = sn
+					s.Targets[sn] = append(s.Targets[sn], t)
+					s.DepCount[t]++
+				}
+			}
+		}
+		insertionSort(s.Targets[sn])
+	}
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// SequentialFactor computes the numeric factor on plain slices (left-looking
+// column Cholesky over the symbolic pattern) — the reference the parallel
+// run is compared against.
+func SequentialFactor(m *Matrix, s *Sym) []float64 {
+	val := initialValues(m, s)
+	n := s.N
+	pos := make([]int, n)
+	for j := 0; j < n; j++ {
+		// Apply updates from every column i < j with j in struct(i).
+		// Gather them via the row structure: walk columns i where j appears.
+		// For simplicity (reference code), scan all prior columns of the
+		// pattern via the elimination tree reach: a column i updates j iff
+		// j ∈ struct(i), which we detect by binary search.
+		for i := 0; i < j; i++ {
+			pi := findRow(s, i, j)
+			if pi < 0 {
+				continue
+			}
+			ljk := val[pi]
+			// Scatter positions of column j.
+			for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+				pos[s.RowIdx[p]] = p
+			}
+			for p := pi; p < s.ColPtr[i+1]; p++ {
+				r := s.RowIdx[p]
+				val[pos[r]] -= val[p] * ljk
+			}
+		}
+		// cdiv.
+		d := val[s.ColPtr[j]]
+		if d <= 0 {
+			panic(fmt.Sprintf("cholesky: matrix not positive definite at column %d (pivot %g)", j, d))
+		}
+		d = math.Sqrt(d)
+		val[s.ColPtr[j]] = d
+		for p := s.ColPtr[j] + 1; p < s.ColPtr[j+1]; p++ {
+			val[p] /= d
+		}
+	}
+	return val
+}
+
+// initialValues spreads A's numeric values over the factor pattern
+// (fill positions start at zero).
+func initialValues(m *Matrix, s *Sym) []float64 {
+	val := make([]float64, s.NNZ())
+	for j := 0; j < m.N; j++ {
+		p := s.ColPtr[j]
+		for q := m.ColPtr[j]; q < m.ColPtr[j+1]; q++ {
+			r := m.RowIdx[q]
+			for s.RowIdx[p] != r {
+				p++
+			}
+			val[p] = m.Val[q]
+		}
+	}
+	return val
+}
+
+// findRow returns the value index of row r in column i's factor pattern, or
+// -1 when absent.
+func findRow(s *Sym, i, r int) int {
+	lo, hi := s.ColPtr[i], s.ColPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.RowIdx[mid] == r:
+			return mid
+		case s.RowIdx[mid] < r:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}

@@ -1,0 +1,48 @@
+package intsort
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzSequentialRanks: for arbitrary inputs, the reference ranking is a
+// permutation that stably sorts the keys.
+func FuzzSequentialRanks(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		const buckets = 64
+		keys := make([]int64, len(raw))
+		for i, b := range raw {
+			keys[i] = int64(b) % buckets
+		}
+		ranks := SequentialRanks(keys, buckets)
+		if len(ranks) != len(keys) {
+			t.Fatalf("rank count %d != key count %d", len(ranks), len(keys))
+		}
+		seen := make([]bool, len(keys))
+		sorted := make([]int64, len(keys))
+		for i, r := range ranks {
+			if r < 0 || int(r) >= len(keys) || seen[r] {
+				t.Fatalf("ranks are not a permutation: %v", ranks)
+			}
+			seen[r] = true
+			sorted[r] = keys[i]
+		}
+		if !sort.SliceIsSorted(sorted, func(a, b int) bool { return sorted[a] < sorted[b] }) {
+			t.Fatalf("ranks do not sort the keys")
+		}
+		// Stability: equal keys keep input order.
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if keys[i] == keys[j] && ranks[i] > ranks[j] {
+					t.Fatalf("unstable: keys[%d]==keys[%d] but ranks reversed", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package intsort implements the NAS Integer Sort kernel (paper §5): a
+// parallel bucket sort ranking a list of integers. The communication
+// pattern is well defined statically — each processor writes its own row of
+// the bucket-count matrix and reads the columns of every other processor's
+// row — making IS the paper's low-reuse, all-to-all workload.
+package intsort
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// Config sizes the kernel.
+type Config struct {
+	N       int   // number of keys
+	Buckets int   // number of buckets (keys are uniform in [0, Buckets))
+	Seed    int64 // RNG seed for key generation
+
+	// Iterations repeats the ranking, per the NAS specification (the full
+	// benchmark ranks 10 times). Re-ranking is where update protocols
+	// hurt: every processor's count-matrix row was read by everyone in
+	// the previous iteration, so each re-write fans updates to all of
+	// them. The keys are kept constant across iterations (the NAS kernel
+	// perturbs two per iteration; constant keys preserve the
+	// communication pattern with byte-identical output). 0 means 1.
+	Iterations int
+}
+
+// Paper returns the paper's problem size: 32K integers, 1K buckets, one
+// ranking pass. (The full NAS kernel ranks 10 times — set Iterations for
+// that; see EXPERIMENTS.md Figure 3 for how the iteration count moves the
+// result between the paper's two IS observations.)
+func Paper() Config { return Config{N: 32768, Buckets: 1024, Seed: 1995} }
+
+// Small returns a reduced instance for fast tests (a single iteration).
+func Small() Config { return Config{N: 2048, Buckets: 64, Seed: 7} }
+
+// IS is one Integer Sort run.
+type IS struct {
+	cfg Config
+
+	keys      shm.I64 // [N] input keys
+	counts    shm.I64 // [P*B] per-processor bucket counts (row p at p*B)
+	offsets   shm.I64 // [B] global exclusive bucket start offsets
+	sliceSums shm.I64 // [P] per-slice key totals for the cross-slice scan
+	ranks     shm.I64 // [N] output ranks
+
+	bar   *psync.Barrier
+	input []int64 // private copy for verification
+}
+
+// New returns an Integer Sort application instance.
+func New(cfg Config) *IS {
+	if cfg.N <= 0 || cfg.Buckets <= 0 {
+		panic(fmt.Sprintf("intsort: bad config %+v", cfg))
+	}
+	return &IS{cfg: cfg}
+}
+
+// Name implements apps.App.
+func (s *IS) Name() string { return "is" }
+
+// Setup implements apps.App.
+func (s *IS) Setup(m *machine.Machine) {
+	p := m.NumProcs()
+	s.keys = shm.NewI64(m.Heap, s.cfg.N)
+	s.counts = shm.NewI64(m.Heap, p*s.cfg.Buckets)
+	s.offsets = shm.NewI64(m.Heap, s.cfg.Buckets)
+	s.sliceSums = shm.NewI64(m.Heap, p)
+	s.ranks = shm.NewI64(m.Heap, s.cfg.N)
+	s.bar = psync.NewBarrier(m)
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	s.input = make([]int64, s.cfg.N)
+	for i := range s.input {
+		s.input[i] = int64(rng.Intn(s.cfg.Buckets))
+		m.PokeU64(s.keys.At(i), uint64(s.input[i]))
+	}
+}
+
+// block returns the [lo,hi) share of n items owned by processor p of np.
+func block(n, p, np int) (lo, hi int) {
+	per := (n + np - 1) / np
+	lo = p * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return
+}
+
+// Body implements apps.App. The phases follow the NAS IS ranking algorithm:
+// local histogram, count-matrix publication, two-pass parallel prefix over
+// buckets, then ranking.
+func (s *IS) Body(e *machine.Env) {
+	iters := s.cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		s.rank(e)
+	}
+}
+
+// rank performs one ranking iteration.
+func (s *IS) rank(e *machine.Env) {
+	p, np, b := e.ID(), e.NumProcs(), s.cfg.Buckets
+	lo, hi := block(s.cfg.N, p, np)
+
+	// Phase 1: local histogram of this processor's keys.
+	local := make([]int64, b)
+	for i := lo; i < hi; i++ {
+		k := s.keys.Get(e, i)
+		local[k]++
+		e.Compute(apps.CostLoop + apps.CostInt)
+	}
+
+	// Publish this processor's row of the count matrix.
+	for j := 0; j < b; j++ {
+		s.counts.Set(e, p*b+j, local[j])
+		e.Compute(apps.CostLoop)
+	}
+	s.bar.Wait(e)
+
+	// Phase 2a: bucket totals and the within-slice exclusive prefix for
+	// this processor's bucket slice.
+	blo, bhi := block(b, p, np)
+	var running int64
+	for j := blo; j < bhi; j++ {
+		var tot int64
+		for q := 0; q < np; q++ {
+			tot += s.counts.Get(e, q*b+j)
+			e.Compute(apps.CostLoop + apps.CostInt)
+		}
+		s.offsets.Set(e, j, running)
+		running += tot
+	}
+	s.sliceSums.Set(e, p, running)
+	s.bar.Wait(e)
+
+	// Phase 2b: add the cross-slice base to this slice's offsets.
+	var base int64
+	for q := 0; q < p; q++ {
+		base += s.sliceSums.Get(e, q)
+		e.Compute(apps.CostLoop + apps.CostInt)
+	}
+	for j := blo; j < bhi; j++ {
+		s.offsets.Set(e, j, s.offsets.Get(e, j)+base)
+		e.Compute(apps.CostLoop + apps.CostInt)
+	}
+	s.bar.Wait(e)
+
+	// Phase 3: rank this processor's keys. A key's rank is the bucket's
+	// global offset, plus the keys lower processors put in the bucket,
+	// plus this processor's running count — stable counting-sort order.
+	interBase := make([]int64, b)
+	for j := 0; j < b; j++ {
+		for q := 0; q < p; q++ {
+			interBase[j] += s.counts.Get(e, q*b+j)
+			e.Compute(apps.CostLoop + apps.CostInt)
+		}
+	}
+	seen := make([]int64, b)
+	for i := lo; i < hi; i++ {
+		k := int(s.keys.Get(e, i))
+		rank := s.offsets.Get(e, k) + interBase[k] + seen[k]
+		seen[k]++
+		s.ranks.Set(e, i, rank)
+		e.Compute(apps.CostLoop + 3*apps.CostInt)
+	}
+	s.bar.Wait(e)
+}
+
+// RanksSnapshot returns the computed ranks (for cross-system comparisons).
+func (s *IS) RanksSnapshot(m *machine.Machine) []uint64 {
+	out := make([]uint64, s.cfg.N)
+	for i := range out {
+		out[i] = m.PeekU64(s.ranks.At(i))
+	}
+	return out
+}
+
+// Verify implements apps.App: the computed ranks must equal the stable
+// sequential counting-sort ranks of the same input.
+func (s *IS) Verify(m *machine.Machine) error {
+	want := SequentialRanks(s.input, s.cfg.Buckets)
+	seen := make([]bool, s.cfg.N)
+	for i := 0; i < s.cfg.N; i++ {
+		r := int64(m.PeekU64(s.ranks.At(i)))
+		if r < 0 || r >= int64(s.cfg.N) {
+			return fmt.Errorf("intsort: rank[%d] = %d out of range", i, r)
+		}
+		if seen[r] {
+			return fmt.Errorf("intsort: duplicate rank %d (not a permutation)", r)
+		}
+		seen[r] = true
+		if r != want[i] {
+			return fmt.Errorf("intsort: rank[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+	return nil
+}
+
+// SequentialRanks is the reference: stable counting-sort ranks.
+func SequentialRanks(keys []int64, buckets int) []int64 {
+	counts := make([]int64, buckets)
+	for _, k := range keys {
+		counts[k]++
+	}
+	offsets := make([]int64, buckets)
+	var run int64
+	for b := 0; b < buckets; b++ {
+		offsets[b] = run
+		run += counts[b]
+	}
+	ranks := make([]int64, len(keys))
+	next := append([]int64(nil), offsets...)
+	for i, k := range keys {
+		ranks[i] = next[k]
+		next[k]++
+	}
+	return ranks
+}

@@ -1,0 +1,172 @@
+package maxflow
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is the static flow network: directed arcs in residual pairs (arc i
+// and arc i^1 are each other's reverse). The structure is immutable during
+// a run; only residual capacities, excesses, and heights live in simulated
+// shared memory.
+type Graph struct {
+	N        int     // vertices; source = 0, sink = N-1
+	Head     []int   // Head[a]: target vertex of arc a
+	Tail     []int   // Tail[a]: source vertex of arc a
+	Cap      []int64 // Cap[a]: capacity of arc a
+	AdjStart []int   // CSR offsets into AdjArcs per vertex
+	AdjArcs  []int   // arc ids leaving each vertex (both directions' arcs)
+}
+
+// Source returns the source vertex.
+func (g *Graph) Source() int { return 0 }
+
+// Sink returns the sink vertex.
+func (g *Graph) Sink() int { return g.N - 1 }
+
+// Arcs returns the number of directed arcs (2 per undirected edge).
+func (g *Graph) Arcs() int { return len(g.Head) }
+
+// Rev returns the reverse arc of a.
+func Rev(a int) int { return a ^ 1 }
+
+// Generate builds the deterministic random flow network of the evaluation:
+// a Hamiltonian backbone from source to sink (guaranteeing connectivity and
+// nonzero max flow) plus random extra bidirectional edges, with capacities
+// uniform in [1, maxCap].
+func Generate(vertices, edges int, maxCap int64, seed int64) *Graph {
+	if vertices < 2 || edges < vertices-1 {
+		panic(fmt.Sprintf("maxflow: need >=2 vertices and >=V-1 edges, got %d/%d", vertices, edges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: vertices}
+
+	type pair struct{ u, v int }
+	used := map[pair]bool{}
+	addEdge := func(u, v int, c1, c2 int64) {
+		g.Tail = append(g.Tail, u, v)
+		g.Head = append(g.Head, v, u)
+		g.Cap = append(g.Cap, c1, c2)
+		used[pair{u, v}] = true
+		used[pair{v, u}] = true
+	}
+	cap1 := func() int64 { return 1 + rng.Int63n(maxCap) }
+
+	// Backbone: a random permutation path from source to sink.
+	perm := rng.Perm(vertices - 2)
+	path := make([]int, 0, vertices)
+	path = append(path, 0)
+	for _, p := range perm {
+		path = append(path, p+1)
+	}
+	path = append(path, vertices-1)
+	for i := 0; i+1 < len(path); i++ {
+		addEdge(path[i], path[i+1], cap1(), cap1())
+	}
+
+	// Random extra edges.
+	for len(g.Head)/2 < edges {
+		u, v := rng.Intn(vertices), rng.Intn(vertices)
+		if u == v || used[pair{u, v}] {
+			continue
+		}
+		addEdge(u, v, cap1(), cap1())
+	}
+
+	// CSR adjacency.
+	deg := make([]int, vertices)
+	for a := range g.Head {
+		deg[g.Tail[a]]++
+	}
+	g.AdjStart = make([]int, vertices+1)
+	for v := 0; v < vertices; v++ {
+		g.AdjStart[v+1] = g.AdjStart[v] + deg[v]
+	}
+	g.AdjArcs = make([]int, len(g.Head))
+	next := append([]int(nil), g.AdjStart[:vertices]...)
+	for a := range g.Head {
+		u := g.Tail[a]
+		g.AdjArcs[next[u]] = a
+		next[u]++
+	}
+	return g
+}
+
+// MaxFlowEK computes the exact maximum flow with Edmonds-Karp — the
+// sequential reference the parallel push-relabel result is validated
+// against.
+func MaxFlowEK(g *Graph) int64 {
+	res := append([]int64(nil), g.Cap...)
+	s, t := g.Source(), g.Sink()
+	var total int64
+	parentArc := make([]int, g.N)
+	for {
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		// BFS on the residual graph.
+		queue := []int{s}
+		parentArc[s] = -2
+		for len(queue) > 0 && parentArc[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for i := g.AdjStart[u]; i < g.AdjStart[u+1]; i++ {
+				a := g.AdjArcs[i]
+				v := g.Head[a]
+				if res[a] > 0 && parentArc[v] == -1 {
+					parentArc[v] = a
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parentArc[t] == -1 {
+			return total
+		}
+		// Bottleneck.
+		aug := int64(1) << 62
+		for v := t; v != s; {
+			a := parentArc[v]
+			if res[a] < aug {
+				aug = res[a]
+			}
+			v = g.Tail[a]
+		}
+		for v := t; v != s; {
+			a := parentArc[v]
+			res[a] -= aug
+			res[Rev(a)] += aug
+			v = g.Tail[a]
+		}
+		total += aug
+	}
+}
+
+// BFSHeights returns exact distance-to-sink labels on the initial residual
+// graph (every arc has positive capacity, so this is plain BFS on the
+// reversed arcs); unreachable vertices get 2N.
+func BFSHeights(g *Graph) []int64 {
+	h := make([]int64, g.N)
+	for i := range h {
+		h[i] = int64(2 * g.N)
+	}
+	t := g.Sink()
+	h[t] = 0
+	queue := []int{t}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for i := g.AdjStart[u]; i < g.AdjStart[u+1]; i++ {
+			a := g.AdjArcs[i]
+			// Arc u->v in residual means flow could move v->u via Rev(a);
+			// for height purposes we need arcs INTO u with capacity, i.e.
+			// Rev(a) from v=Head[a] to u must have cap > 0.
+			v := g.Head[a]
+			if g.Cap[Rev(a)] > 0 && h[v] > h[u]+1 {
+				h[v] = h[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	h[g.Source()] = int64(g.N)
+	return h
+}

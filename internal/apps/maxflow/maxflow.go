@@ -1,0 +1,287 @@
+// Package maxflow implements the parallel Goldberg push-relabel maximum
+// flow application of the paper's evaluation (after Anderson & Setubal):
+// each processor discharges active vertices from a private local work
+// queue, the local queues interact through a shared global queue for load
+// balancing, and per-vertex locks protect excesses and heights. The
+// producer-consumer relationship for shared data is dynamic and random —
+// the paper's hardest case for update-based and adaptive protocols.
+package maxflow
+
+import (
+	"fmt"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Vertices  int   // graph vertices (paper: 200)
+	Edges     int   // bidirectional edges (paper: 400)
+	MaxCap    int64 // capacity range [1, MaxCap]
+	Seed      int64
+	HighWater int // local-queue length beyond which work is shared globally
+}
+
+// Paper returns the paper's problem size: a 200-vertex graph with 400
+// bidirectional edges.
+func Paper() Config { return Config{Vertices: 200, Edges: 400, MaxCap: 100, Seed: 1995, HighWater: 8} }
+
+// Small returns a reduced instance for fast tests.
+func Small() Config { return Config{Vertices: 40, Edges: 80, MaxCap: 20, Seed: 5, HighWater: 4} }
+
+// MF is one Maxflow run.
+type MF struct {
+	cfg Config
+	g   *Graph
+
+	res    shm.I64 // [arcs] residual capacities
+	height shm.I64 // [N]
+	excess shm.I64 // [N]
+	active shm.I64 // [N] 0/1: queued or being discharged
+	curArc shm.I64 // [N] current-arc pointer (Goldberg's optimization)
+
+	locks   []*psync.Lock
+	nActive *psync.Counter
+	globalQ *psync.Queue
+	initBar *psync.Barrier
+}
+
+// New returns a Maxflow application instance.
+func New(cfg Config) *MF {
+	g := Generate(cfg.Vertices, cfg.Edges, cfg.MaxCap, cfg.Seed)
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = 8
+	}
+	return &MF{cfg: cfg, g: g}
+}
+
+// Name implements apps.App.
+func (f *MF) Name() string { return "maxflow" }
+
+// Graph exposes the generated network (for tests and examples).
+func (f *MF) Graph() *Graph { return f.g }
+
+// Setup implements apps.App.
+func (f *MF) Setup(m *machine.Machine) {
+	g := f.g
+	f.res = shm.NewI64(m.Heap, g.Arcs())
+	f.height = shm.NewI64(m.Heap, g.N)
+	f.excess = shm.NewI64(m.Heap, g.N)
+	f.active = shm.NewI64(m.Heap, g.N)
+	f.curArc = shm.NewI64(m.Heap, g.N)
+	f.locks = make([]*psync.Lock, g.N)
+	for v := range f.locks {
+		f.locks[v] = psync.NewLock(m)
+	}
+	f.nActive = psync.NewCounter(m, 0)
+	f.globalQ = psync.NewQueue(m, g.N*4)
+	f.initBar = psync.NewBarrier(m)
+
+	for a, c := range g.Cap {
+		m.PokeU64(f.res.At(a), uint64(c))
+	}
+	heights := BFSHeights(g)
+	for v, h := range heights {
+		m.PokeU64(f.height.At(v), uint64(h))
+	}
+}
+
+// Body implements apps.App.
+func (f *MF) Body(e *machine.Env) {
+	g := f.g
+	s, t := g.Source(), g.Sink()
+	var local []int64 // private local work queue (FIFO)
+
+	// Initialization: processor 0 saturates the source's arcs.
+	if e.ID() == 0 {
+		for i := g.AdjStart[s]; i < g.AdjStart[s+1]; i++ {
+			a := g.AdjArcs[i]
+			d := f.res.Get(e, a)
+			if d == 0 {
+				continue
+			}
+			w := g.Head[a]
+			f.res.Set(e, a, 0)
+			f.res.Set(e, Rev(a), f.res.Get(e, Rev(a))+d)
+			f.excess.Set(e, w, f.excess.Get(e, w)+d)
+			f.excess.Set(e, s, f.excess.Get(e, s)-d)
+			e.Compute(apps.CostLoop + 2*apps.CostInt)
+			if w != s && w != t && f.active.Get(e, w) == 0 {
+				f.active.Set(e, w, 1)
+				f.nActive.Add(e, 1)
+				f.globalQ.Push(e, int64(w))
+			}
+		}
+	}
+	f.initBar.Wait(e)
+
+	guard := 0
+	for {
+		guard++
+		if guard > 50_000_000 {
+			panic("maxflow: discharge budget exceeded (algorithm diverged)")
+		}
+		var v int64
+		switch {
+		case len(local) > 0:
+			v = local[0]
+			local = local[1:]
+		default:
+			var ok bool
+			v, ok = f.globalQ.TryPop(e)
+			if !ok {
+				if f.nActive.Get(e) == 0 {
+					return // quiescent: the preflow is a maximum flow
+				}
+				e.Compute(apps.CostIdle) // back off and re-poll
+				continue
+			}
+		}
+		local = f.discharge(e, int(v), local)
+	}
+}
+
+// enqueue routes a newly activated vertex to the local queue, spilling to
+// the global queue above the high-water mark (the paper's load balancing).
+func (f *MF) enqueue(e *machine.Env, local []int64, v int) []int64 {
+	if len(local) >= f.cfg.HighWater {
+		if f.globalQ.Push(e, int64(v)) {
+			return local
+		}
+	}
+	return append(local, int64(v))
+}
+
+// discharge pushes v's excess to admissible arcs, relabelling as needed,
+// until the excess is gone. It returns the updated local queue.
+func (f *MF) discharge(e *machine.Env, v int, local []int64) []int64 {
+	g := f.g
+	s, t := g.Source(), g.Sink()
+	deg := g.AdjStart[v+1] - g.AdjStart[v]
+	for {
+		f.locks[v].Acquire(e)
+		if f.excess.Get(e, v) == 0 {
+			// Deactivate atomically with the zero-excess observation.
+			f.active.Set(e, v, 0)
+			f.nActive.Add(e, -1)
+			f.locks[v].Release(e)
+			return local
+		}
+		// Scan from the current arc for an admissible edge. Neighbor
+		// heights are read optimistically (heights only rise; admissibility
+		// is re-verified under both locks before the push applies).
+		cur := int(f.curArc.Get(e, v))
+		hv := f.height.Get(e, v)
+		pushArc := -1
+		for k := 0; k < deg; k++ {
+			a := g.AdjArcs[g.AdjStart[v]+(cur+k)%deg]
+			e.Compute(apps.CostLoop + 2*apps.CostCheck)
+			if f.res.Get(e, a) > 0 && hv == f.height.Get(e, g.Head[a])+1 {
+				pushArc = a
+				f.curArc.Set(e, v, int64((cur+k)%deg))
+				break
+			}
+		}
+		if pushArc < 0 {
+			// Relabel: one above the lowest admissible neighbor.
+			minH := int64(1) << 62
+			for k := 0; k < deg; k++ {
+				a := g.AdjArcs[g.AdjStart[v]+k]
+				e.Compute(apps.CostLoop + apps.CostCheck)
+				if f.res.Get(e, a) > 0 {
+					if h := f.height.Get(e, g.Head[a]); h+1 < minH {
+						minH = h + 1
+					}
+				}
+			}
+			if minH >= int64(1)<<62 {
+				// No residual arcs at all: nothing more can leave v.
+				f.active.Set(e, v, 0)
+				f.nActive.Add(e, -1)
+				f.locks[v].Release(e)
+				return local
+			}
+			f.height.Set(e, v, minH)
+			f.curArc.Set(e, v, 0)
+			f.locks[v].Release(e)
+			continue
+		}
+		// Lock-ordered push: release v, take both endpoint locks in id
+		// order, and re-verify admissibility before applying.
+		w := g.Head[pushArc]
+		f.locks[v].Release(e)
+		lo, hi := v, w
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		f.locks[lo].Acquire(e)
+		f.locks[hi].Acquire(e)
+		exv := f.excess.Get(e, v)
+		r := f.res.Get(e, pushArc)
+		stillAdmissible := r > 0 && exv > 0 && f.height.Get(e, v) == f.height.Get(e, w)+1
+		wActivated := false
+		if stillAdmissible {
+			d := exv
+			if r < d {
+				d = r
+			}
+			f.res.Set(e, pushArc, r-d)
+			f.res.Set(e, Rev(pushArc), f.res.Get(e, Rev(pushArc))+d)
+			f.excess.Set(e, v, exv-d)
+			f.excess.Set(e, w, f.excess.Get(e, w)+d)
+			e.Compute(4 * apps.CostInt)
+			if w != s && w != t && f.active.Get(e, w) == 0 && f.excess.Get(e, w) > 0 {
+				f.active.Set(e, w, 1)
+				f.nActive.Add(e, 1)
+				wActivated = true
+			}
+		}
+		f.locks[hi].Release(e)
+		f.locks[lo].Release(e)
+		if wActivated {
+			local = f.enqueue(e, local, w)
+		}
+	}
+}
+
+// Verify implements apps.App: the computed flow must equal the sequential
+// Edmonds-Karp maximum, respect capacities, and conserve flow.
+func (f *MF) Verify(m *machine.Machine) error {
+	g := f.g
+	s, t := g.Source(), g.Sink()
+	want := MaxFlowEK(g)
+	got := int64(m.PeekU64(f.excess.At(t)))
+	if got != want {
+		return fmt.Errorf("maxflow: flow %d, reference %d", got, want)
+	}
+	// Residuals must be nonnegative (flow within capacity), and the net
+	// flow into the sink must equal its excess. flow(a) = cap(a) − res(a)
+	// is antisymmetric across a residual pair, so summing it over the arcs
+	// whose head is t counts each pair's net contribution exactly once.
+	var intoSink int64
+	for a := 0; a < g.Arcs(); a++ {
+		res := int64(m.PeekU64(f.res.At(a)))
+		if res < 0 {
+			return fmt.Errorf("maxflow: arc %d residual %d < 0", a, res)
+		}
+		if g.Head[a] == t {
+			intoSink += g.Cap[a] - res
+		}
+	}
+	if intoSink != got {
+		return fmt.Errorf("maxflow: net flow into sink %d != sink excess %d", intoSink, got)
+	}
+	// Conservation at every interior vertex: final excess must be zero.
+	for v := 0; v < g.N; v++ {
+		if v == s || v == t {
+			continue
+		}
+		if ex := int64(m.PeekU64(f.excess.At(v))); ex != 0 {
+			return fmt.Errorf("maxflow: vertex %d retains excess %d", v, ex)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package maxflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+func runMF(t *testing.T, kind memsys.Kind, cfg Config, procs int) *MF {
+	t.Helper()
+	app := New(cfg)
+	m := machine.MustNew(kind, memsys.Default(procs))
+	if _, err := apps.Run(app, m); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return app
+}
+
+func TestCorrectOnEverySystem(t *testing.T) {
+	for _, kind := range memsys.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			runMF(t, kind, Small(), 16)
+		})
+	}
+}
+
+func TestSingleProc(t *testing.T) {
+	runMF(t, memsys.KindRCInv, Config{Vertices: 20, Edges: 30, MaxCap: 10, Seed: 2, HighWater: 4}, 1)
+}
+
+func TestFourProcs(t *testing.T) {
+	runMF(t, memsys.KindRCUpd, Small(), 4)
+}
+
+func TestSeveralSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Small()
+		cfg.Seed = seed
+		runMF(t, memsys.KindRCAdapt, cfg, 8)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(200, 400, 100, 1995)
+	if g.N != 200 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Arcs() != 800 {
+		t.Fatalf("arcs = %d, want 800 (400 bidirectional edges)", g.Arcs())
+	}
+	for a := 0; a < g.Arcs(); a++ {
+		if g.Cap[a] < 1 || g.Cap[a] > 100 {
+			t.Fatalf("cap[%d] = %d out of range", a, g.Cap[a])
+		}
+		if g.Head[a] != g.Tail[Rev(a)] || g.Tail[a] != g.Head[Rev(a)] {
+			t.Fatalf("arc %d and its reverse disagree", a)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, 100, 20, 7)
+	b := Generate(50, 100, 20, 7)
+	for i := range a.Cap {
+		if a.Cap[i] != b.Cap[i] || a.Head[i] != b.Head[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGeneratePositiveFlow(t *testing.T) {
+	// The backbone guarantees a source-to-sink path, so max flow > 0.
+	for seed := int64(1); seed <= 10; seed++ {
+		g := Generate(30, 60, 10, seed)
+		if MaxFlowEK(g) <= 0 {
+			t.Fatalf("seed %d: nonpositive max flow", seed)
+		}
+	}
+}
+
+func TestEKKnownAnswer(t *testing.T) {
+	// Hand-built graph: s=0, t=3; two disjoint paths of bottleneck 3 and 2.
+	g := &Graph{N: 4}
+	add := func(u, v int, c int64) {
+		g.Tail = append(g.Tail, u, v)
+		g.Head = append(g.Head, v, u)
+		g.Cap = append(g.Cap, c, 0)
+	}
+	add(0, 1, 3)
+	add(1, 3, 5)
+	add(0, 2, 2)
+	add(2, 3, 2)
+	// CSR.
+	deg := make([]int, g.N)
+	for a := range g.Head {
+		deg[g.Tail[a]]++
+	}
+	g.AdjStart = make([]int, g.N+1)
+	for v := 0; v < g.N; v++ {
+		g.AdjStart[v+1] = g.AdjStart[v] + deg[v]
+	}
+	g.AdjArcs = make([]int, len(g.Head))
+	next := append([]int(nil), g.AdjStart[:g.N]...)
+	for a := range g.Head {
+		g.AdjArcs[next[g.Tail[a]]] = a
+		next[g.Tail[a]]++
+	}
+	if got := MaxFlowEK(g); got != 5 {
+		t.Fatalf("EK = %d, want 5", got)
+	}
+}
+
+func TestBFSHeightsValid(t *testing.T) {
+	g := Generate(40, 80, 10, 3)
+	h := BFSHeights(g)
+	if h[g.Sink()] != 0 {
+		t.Fatalf("sink height = %d", h[g.Sink()])
+	}
+	if h[g.Source()] != int64(g.N) {
+		t.Fatalf("source height = %d, want N", h[g.Source()])
+	}
+	// Valid labelling: h(u) <= h(v)+1 for every residual arc u->v.
+	for a := 0; a < g.Arcs(); a++ {
+		u, v := g.Tail[a], g.Head[a]
+		if u == g.Source() || g.Cap[a] == 0 {
+			continue
+		}
+		if h[u] > h[v]+1 && h[u] < int64(2*g.N) {
+			t.Fatalf("invalid labelling on arc %d->%d: %d > %d+1", u, v, h[u], h[v])
+		}
+	}
+}
+
+// Property: the parallel flow equals the sequential flow for random small
+// graphs across two contrasting memory systems.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed uint8, invProto bool) bool {
+		cfg := Config{Vertices: 16, Edges: 24, MaxCap: 9, Seed: int64(seed) + 1, HighWater: 3}
+		kind := memsys.KindRCUpd
+		if invProto {
+			kind = memsys.KindRCInv
+		}
+		app := New(cfg)
+		m := machine.MustNew(kind, memsys.Default(8))
+		_, err := apps.Run(app, m)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(1, 0, 5, 1)
+}
+
+func TestHighWaterDefaults(t *testing.T) {
+	mf := New(Config{Vertices: 10, Edges: 12, MaxCap: 5, Seed: 1}) // HighWater unset
+	if mf.cfg.HighWater <= 0 {
+		t.Fatal("HighWater default not applied")
+	}
+}
+
+func TestDenseGraph(t *testing.T) {
+	// Nearly complete small graph: stresses the lock-ordered push path.
+	runMF(t, memsys.KindRCInv, Config{Vertices: 8, Edges: 24, MaxCap: 6, Seed: 9, HighWater: 2}, 16)
+}

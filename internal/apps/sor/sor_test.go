@@ -1,0 +1,111 @@
+package sor
+
+import (
+	"math"
+	"testing"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+func runSOR(t *testing.T, kind memsys.Kind, cfg Config, procs int) *SOR {
+	t.Helper()
+	app := New(cfg)
+	m := machine.MustNew(kind, memsys.Default(procs))
+	if _, err := apps.Run(app, m); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return app
+}
+
+func TestCorrectOnEverySystem(t *testing.T) {
+	for _, kind := range memsys.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			runSOR(t, kind, Small(), 16)
+		})
+	}
+}
+
+func TestOddGridAndProcs(t *testing.T) {
+	runSOR(t, memsys.KindRCInv, Config{N: 13, Sweeps: 3}, 5)
+}
+
+func TestSingleProc(t *testing.T) {
+	runSOR(t, memsys.KindRCUpd, Config{N: 8, Sweeps: 4}, 1)
+}
+
+func TestIterateConverges(t *testing.T) {
+	// More sweeps bring the residual of -∇²u = f closer to zero.
+	residual := func(sweeps int) float64 {
+		cfg := Config{N: 12, Sweeps: sweeps}
+		app := New(cfg)
+		m := machine.MustNew(memsys.KindPRAM, memsys.Default(4))
+		if _, err := apps.Run(app, m); err != nil {
+			t.Fatal(err)
+		}
+		n := cfg.N
+		h2 := 1.0 / float64((n+1)*(n+1))
+		var sum float64
+		for r := 1; r <= n; r++ {
+			for c := 1; c <= n; c++ {
+				u := func(rr, cc int) float64 { return m.PeekF64(app.u.At(app.idx(rr, cc))) }
+				res := 4*u(r, c) - u(r-1, c) - u(r+1, c) - u(r, c-1) - u(r, c+1) + h2*m.PeekF64(app.f.At(app.idx(r, c)))
+				sum += res * res
+			}
+		}
+		return math.Sqrt(sum)
+	}
+	few, many := residual(2), residual(40)
+	if many >= few {
+		t.Fatalf("residual did not shrink: %g after 2 sweeps, %g after 40", few, many)
+	}
+}
+
+// The static nearest-neighbour pattern is where update protocols shine on
+// reads: boundary-row exchanges become hits.
+func TestUpdateProtocolExploitsStaticPattern(t *testing.T) {
+	inv := runSOR(t, memsys.KindRCInv, Small(), 16)
+	_ = inv
+	run := func(kind memsys.Kind) memsys.Time {
+		app := New(Small())
+		m := machine.MustNew(kind, memsys.Default(16))
+		res, err := apps.Run(app, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalReadStall()
+	}
+	if upd, invS := run(memsys.KindRCUpd), run(memsys.KindRCInv); float64(upd) > 0.5*float64(invS) {
+		t.Fatalf("RCupd read stall %d should be well below RCinv's %d on a static pattern", upd, invS)
+	}
+}
+
+func TestStripPartition(t *testing.T) {
+	s := New(Config{N: 13, Sweeps: 1})
+	covered := 0
+	prevHi := 0
+	for p := 0; p < 5; p++ {
+		lo, hi := s.strip(p, 5)
+		if lo != prevHi+1 && lo <= s.cfg.N {
+			t.Fatalf("gap before row %d", lo)
+		}
+		if hi >= lo {
+			covered += hi - lo + 1
+			prevHi = hi
+		}
+	}
+	if covered != 13 {
+		t.Fatalf("covered %d rows, want 13", covered)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{N: 1, Sweeps: 1})
+}

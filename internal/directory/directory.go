@@ -1,0 +1,162 @@
+// Package directory implements the full-map directories of the simulated
+// CC-NUMA machine. Each node keeps a directory entry for every cache line
+// whose home it is (lines are interleaved across nodes); the entry records
+// the line's global coherence state, the presence bits of the sharing
+// processors, and protocol-specific metadata: the "special" state of the
+// paper's adaptive selective-write protocol and the outstanding-write
+// availability timestamp implementing the z-machine's counter mechanism.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zsim/internal/memsys"
+)
+
+// State is a directory entry's global state.
+type State uint8
+
+const (
+	// Uncached: no processor holds the line.
+	Uncached State = iota
+	// SharedClean: one or more read-only copies; memory is up to date.
+	SharedClean
+	// Dirty: exactly one processor owns the line in Modified state.
+	Dirty
+	// Special: adaptive-protocol state — the line has an established
+	// sharing pattern and writes are propagated as selective updates to
+	// the presence-bit set (paper §4, RCadapt).
+	Special
+)
+
+func (s State) String() string {
+	switch s {
+	case Uncached:
+		return "U"
+	case SharedClean:
+		return "S"
+	case Dirty:
+		return "D"
+	case Special:
+		return "X"
+	}
+	return "?"
+}
+
+// Bitset is a set of processor ids (supports up to 64 processors).
+type Bitset uint64
+
+// Add inserts processor p.
+func (b *Bitset) Add(p int) { *b |= 1 << uint(p) }
+
+// Remove deletes processor p.
+func (b *Bitset) Remove(p int) { *b &^= 1 << uint(p) }
+
+// Has reports membership of processor p.
+func (b Bitset) Has(p int) bool { return b&(1<<uint(p)) != 0 }
+
+// Count returns the set's cardinality.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Clear empties the set.
+func (b *Bitset) Clear() { *b = 0 }
+
+// ForEach visits members in ascending processor order.
+func (b Bitset) ForEach(f func(p int)) {
+	for v := uint64(b); v != 0; {
+		p := bits.TrailingZeros64(v)
+		f(p)
+		v &^= 1 << uint(p)
+	}
+}
+
+// List returns the members in ascending order.
+func (b Bitset) List() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(p int) { out = append(out, p) })
+	return out
+}
+
+// Entry is a directory entry for one cache line.
+type Entry struct {
+	State   State
+	Sharers Bitset
+	Owner   int // valid when State == Dirty
+
+	// AvailableAt implements the z-machine's per-block counter: the time by
+	// which all outstanding writes to the block have propagated to every
+	// consumer. A z-machine read before this time stalls (inherent
+	// communication cost); the counter-is-zero condition of the paper is
+	// exactly now >= AvailableAt.
+	AvailableAt memsys.Time
+}
+
+func (e *Entry) String() string {
+	return fmt.Sprintf("{%s sharers=%v owner=%d avail=%d}", e.State, e.Sharers.List(), e.Owner, e.AvailableAt)
+}
+
+// Directory is the collection of all nodes' directories.
+type Directory struct {
+	procs    int
+	lineSize int
+	homes    []map[memsys.Addr]*Entry
+}
+
+// New creates directories for every node.
+func New(procs, lineSize int) *Directory {
+	d := &Directory{procs: procs, lineSize: lineSize, homes: make([]map[memsys.Addr]*Entry, procs)}
+	for i := range d.homes {
+		d.homes[i] = make(map[memsys.Addr]*Entry)
+	}
+	return d
+}
+
+// Home returns the home node of the line containing addr.
+func (d *Directory) Home(addr memsys.Addr) int {
+	return int(memsys.Line(addr, d.lineSize) % memsys.Addr(d.procs))
+}
+
+// Entry returns the directory entry for the line containing addr, creating
+// an Uncached entry on first touch.
+func (d *Directory) Entry(addr memsys.Addr) *Entry {
+	line := memsys.Line(addr, d.lineSize)
+	home := int(line % memsys.Addr(d.procs))
+	e, ok := d.homes[home][line]
+	if !ok {
+		e = &Entry{}
+		d.homes[home][line] = e
+	}
+	return e
+}
+
+// Lookup returns the entry if it exists (the line has been touched).
+func (d *Directory) Lookup(addr memsys.Addr) (*Entry, bool) {
+	line := memsys.Line(addr, d.lineSize)
+	home := int(line % memsys.Addr(d.procs))
+	e, ok := d.homes[home][line]
+	return e, ok
+}
+
+// Entries returns the number of allocated entries across all homes.
+func (d *Directory) Entries() int {
+	n := 0
+	for _, h := range d.homes {
+		n += len(h)
+	}
+	return n
+}
+
+// LineSize returns the directory's coherence unit.
+func (d *Directory) LineSize() int { return d.lineSize }
+
+// ForEach visits every allocated entry (in unspecified order). Callers must
+// not mutate the directory during iteration; it exists for invariant
+// checking and debugging.
+func (d *Directory) ForEach(f func(line memsys.Addr, e *Entry)) {
+	for _, h := range d.homes {
+		for line, e := range h {
+			f(line, e)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package directory
+
+import "testing"
+
+// FuzzBitset: the bitset agrees with a reference map under arbitrary
+// add/remove sequences.
+func FuzzBitset(f *testing.F) {
+	f.Add([]byte{0x81, 0x02, 0x83})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var b Bitset
+		ref := map[int]bool{}
+		for _, op := range ops {
+			p := int(op % 64)
+			if op&0x80 != 0 {
+				b.Add(p)
+				ref[p] = true
+			} else {
+				b.Remove(p)
+				delete(ref, p)
+			}
+		}
+		if b.Count() != len(ref) {
+			t.Fatalf("count %d != %d", b.Count(), len(ref))
+		}
+		prev := -1
+		b.ForEach(func(p int) {
+			if !ref[p] {
+				t.Fatalf("phantom member %d", p)
+			}
+			if p <= prev {
+				t.Fatalf("ForEach order violated: %d after %d", p, prev)
+			}
+			prev = p
+		})
+	})
+}

@@ -1,0 +1,298 @@
+// Package machine binds the simulation kernel, the interconnect, a memory
+// system, and the shared address space into a runnable simulated
+// multiprocessor. Applications are ordinary Go functions that receive a
+// per-processor Env and perform every shared access and synchronization
+// through it — the execution-driven trap interface of the paper's SPASM
+// framework.
+package machine
+
+import (
+	"math"
+
+	"zsim/internal/memsys"
+	"zsim/internal/mesh"
+	"zsim/internal/proto"
+	"zsim/internal/shm"
+	"zsim/internal/sim"
+	"zsim/internal/stats"
+	"zsim/internal/trace"
+)
+
+// Time aliases virtual time.
+type Time = memsys.Time
+
+// Machine is a simulated shared-memory multiprocessor.
+type Machine struct {
+	Params memsys.Params
+	Eng    *sim.Engine
+	Net    *mesh.Net
+	Mem    memsys.MemSystem
+	Heap   *shm.Heap
+
+	values map[memsys.Addr]uint64
+	procs  []stats.Proc
+	envs   []*Env
+	// rec, when non-nil, records every globally visible event.
+	rec *trace.Recorder
+	// coreFree[node] is when the node's core finishes its current
+	// computation; with HWThreads > 1 the threads of a node contend for it
+	// (switch-on-miss multithreading: memory stalls do not hold the core).
+	coreFree []Time
+	ran      bool
+}
+
+// New builds a machine with the given memory system and parameters.
+func New(kind memsys.Kind, p memsys.Params) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net := mesh.New(p)
+	mem, err := proto.New(kind, p, net)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Params:   p,
+		Eng:      sim.NewEngine(p.Procs),
+		Net:      net,
+		Mem:      mem,
+		Heap:     shm.NewHeap(p.LineSize),
+		values:   make(map[memsys.Addr]uint64),
+		procs:    make([]stats.Proc, p.Procs),
+		coreFree: make([]Time, p.Nodes()),
+	}
+	for i := 0; i < p.Procs; i++ {
+		m.envs = append(m.envs, &Env{m: m, p: m.Eng.Proc(i), st: &m.procs[i]})
+	}
+	return m, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(kind memsys.Kind, p memsys.Params) *Machine {
+	m, err := New(kind, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumProcs returns the processor count.
+func (m *Machine) NumProcs() int { return m.Params.Procs }
+
+// Alloc reserves size bytes of simulated shared memory.
+func (m *Machine) Alloc(size int) memsys.Addr { return m.Heap.Alloc(size) }
+
+// EnableTrace attaches an event recorder keeping the last cap events; it
+// returns the recorder for inspection after the run.
+func (m *Machine) EnableTrace(cap int) *trace.Recorder {
+	m.rec = trace.New(cap)
+	return m.rec
+}
+
+// Trace returns the attached recorder (nil unless EnableTrace was called).
+func (m *Machine) Trace() *trace.Recorder { return m.rec }
+
+// PeekU64 reads a shared word without simulating an access (setup,
+// verification, and debugging only).
+func (m *Machine) PeekU64(addr memsys.Addr) uint64 { return m.values[addr] }
+
+// PokeU64 writes a shared word without simulating an access. Use only for
+// pre-run initialization (the initial data placement is free, as if loaded
+// before timing starts) and never from application bodies.
+func (m *Machine) PokeU64(addr memsys.Addr, v uint64) { m.values[addr] = v }
+
+// PeekF64 reads a shared float64 without simulation.
+func (m *Machine) PeekF64(addr memsys.Addr) float64 {
+	return math.Float64frombits(m.values[addr])
+}
+
+// PokeF64 writes a shared float64 without simulation.
+func (m *Machine) PokeF64(addr memsys.Addr, v float64) {
+	m.values[addr] = math.Float64bits(v)
+}
+
+// Run executes body on every processor and returns the run's result. A
+// machine runs exactly once; build a fresh machine per experiment.
+func (m *Machine) Run(app string, body func(e *Env)) *stats.Result {
+	if m.ran {
+		panic("machine: Run called twice; build a fresh Machine per run")
+	}
+	m.ran = true
+	exec := m.Eng.Run(func(p *sim.Proc) {
+		body(m.envs[p.ID()])
+	})
+	res := &stats.Result{
+		App:      app,
+		System:   m.Mem.Name(),
+		ExecTime: exec,
+		Procs:    append([]stats.Proc(nil), m.procs...),
+		Counters: *m.Mem.Counters(),
+	}
+	return res
+}
+
+// Env is the per-processor view of the machine: the trap interface through
+// which application code computes, accesses shared memory, and (via
+// internal/psync) synchronizes.
+type Env struct {
+	m  *Machine
+	p  *sim.Proc
+	st *stats.Proc
+}
+
+// ID returns the processor (execution stream) number.
+func (e *Env) ID() int { return e.p.ID() }
+
+// NodeID returns the NUMA node this stream's hardware lives on (equal to
+// ID when HWThreads is 1).
+func (e *Env) NodeID() int { return e.m.Params.Node(e.p.ID()) }
+
+// NumProcs returns the machine's processor count.
+func (e *Env) NumProcs() int { return e.m.Params.Procs }
+
+// Machine returns the owning machine.
+func (e *Env) Machine() *Machine { return e.m }
+
+// Clock returns the processor's virtual time.
+func (e *Env) Clock() Time { return e.p.Clock() }
+
+// Compute charges c cycles of local computation (the application's cost
+// model; this substitutes for SPASM's instruction cycle counting). With
+// hardware multithreading the node's core is a shared resource: the thread
+// first waits for the core (accounted as CoreWait), then occupies it for c
+// cycles; memory stalls never hold the core, which is what lets a sibling
+// thread's computation hide them.
+func (e *Env) Compute(c Time) {
+	if e.m.Params.HWThreads > 1 {
+		e.p.Sync()
+		node := e.m.Params.Node(e.ID())
+		if f := e.m.coreFree[node]; f > e.p.Clock() {
+			e.st.CoreWait += f - e.p.Clock()
+			e.p.AdvanceTo(f)
+		}
+		e.m.coreFree[node] = e.p.Clock() + c
+	}
+	e.p.Advance(c)
+	e.st.Compute += c
+}
+
+// LoadU64 performs a simulated shared read of the 8-byte word at addr.
+func (e *Env) LoadU64(addr memsys.Addr) uint64 {
+	e.p.Sync()
+	at := e.p.Clock()
+	stall := e.m.Mem.Read(e.ID(), addr, shm.WordSize, at)
+	e.st.ReadStall += stall
+	e.p.Advance(stall)
+	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: stall})
+	return e.m.values[addr]
+}
+
+// StoreU64 performs a simulated shared write of the 8-byte word at addr.
+func (e *Env) StoreU64(addr memsys.Addr, v uint64) {
+	e.p.Sync()
+	at := e.p.Clock()
+	stall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, at)
+	e.st.WriteStall += stall
+	e.p.Advance(stall)
+	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: stall})
+	e.m.values[addr] = v
+}
+
+// AtomicSwapU64 models an atomic exchange (test-and-set class hardware
+// primitive): a read and a write of the word at addr performed indivisibly
+// at the same virtual instant. The read's wait is accounted as read stall
+// and the write's as write stall, like the two halves of a locked bus
+// transaction.
+func (e *Env) AtomicSwapU64(addr memsys.Addr, v uint64) uint64 {
+	e.p.Sync()
+	at := e.p.Clock()
+	rstall := e.m.Mem.Read(e.ID(), addr, shm.WordSize, at)
+	e.st.ReadStall += rstall
+	e.p.Advance(rstall)
+	wstall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, e.p.Clock())
+	e.st.WriteStall += wstall
+	e.p.Advance(wstall)
+	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: rstall})
+	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: wstall})
+	old := e.m.values[addr]
+	e.m.values[addr] = v
+	return old
+}
+
+// LoadF64 reads a shared float64.
+func (e *Env) LoadF64(addr memsys.Addr) float64 {
+	return math.Float64frombits(e.LoadU64(addr))
+}
+
+// StoreF64 writes a shared float64.
+func (e *Env) StoreF64(addr memsys.Addr, v float64) {
+	e.StoreU64(addr, math.Float64bits(v))
+}
+
+// The methods below are the synchronization-building toolkit used by
+// internal/psync; applications normally use psync's Lock/Barrier/Flag
+// rather than calling these directly.
+
+// SyncPoint acquires the global-time token: after it returns, the processor
+// holds the smallest virtual clock and may mutate global simulation state.
+func (e *Env) SyncPoint() { e.p.Sync() }
+
+// ReleasePoint applies release semantics: the memory system drains its
+// write buffers, and the wait is accounted as buffer-flush overhead.
+func (e *Env) ReleasePoint() {
+	e.p.Sync()
+	at := e.p.Clock()
+	stall := e.m.Mem.Release(e.ID(), at)
+	e.st.BufferFlush += stall
+	e.p.Advance(stall)
+	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Release, Stall: stall})
+}
+
+// ReleaseWatermark returns the time by which this processor's issued
+// writes are globally performed. For memory systems that decouple data
+// flow from synchronization (memsys.TokenSystem, the paper's §6 proposal)
+// the synchronization primitives delay the *consumer's* grant to this
+// watermark instead of stalling the producer at the release; for every
+// other system it is simply the current clock.
+func (e *Env) ReleaseWatermark() Time {
+	if ts, ok := e.m.Mem.(memsys.TokenSystem); ok {
+		return ts.ReleaseWatermark(e.ID(), e.p.Clock())
+	}
+	return e.p.Clock()
+}
+
+// AcquirePoint applies acquire semantics at a synchronization grant.
+func (e *Env) AcquirePoint() {
+	stall := e.m.Mem.Acquire(e.ID(), e.p.Clock())
+	e.st.ReadStall += stall
+	e.p.Advance(stall)
+}
+
+// AdvanceTo moves the clock forward to t (no-op if already past).
+func (e *Env) AdvanceTo(t Time) { e.p.AdvanceTo(t) }
+
+// AddSyncWait accounts d cycles of process-coordination wait (inherent cost,
+// not an overhead in the paper's taxonomy).
+func (e *Env) AddSyncWait(d Time) { e.st.SyncWait += d }
+
+// Block parks the processor until another processor calls Unblock on it.
+func (e *Env) Block(reason string) { e.p.Block(reason) }
+
+// Unblock releases a parked processor with its clock advanced to t.
+func (e *Env) Unblock(t Time) { e.p.Unblock(t) }
+
+// SendCtrl models a synchronization control message from this processor's
+// node to node dst, returning its arrival time. Traffic shares the mesh
+// with the memory system (contention is visible to both).
+func (e *Env) SendCtrl(dst int, t Time) Time {
+	return e.m.Net.Send(e.NodeID(), dst, e.m.Params.CtrlBytes, t)
+}
+
+// SendCtrlFrom models a control message between arbitrary nodes (used for
+// home-mediated synchronization).
+func (e *Env) SendCtrlFrom(src, dst int, t Time) Time {
+	return e.m.Net.Send(src, dst, e.m.Params.CtrlBytes, t)
+}
+
+// Params returns the machine's parameters.
+func (e *Env) Params() memsys.Params { return e.m.Params }

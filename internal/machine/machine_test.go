@@ -1,0 +1,417 @@
+package machine
+
+import (
+	"testing"
+
+	"zsim/internal/memsys"
+	"zsim/internal/shm"
+)
+
+func newM(t testing.TB, kind memsys.Kind) *Machine {
+	t.Helper()
+	return MustNew(kind, memsys.Default(16))
+}
+
+func TestNewValidates(t *testing.T) {
+	p := memsys.Default(16)
+	p.LineSize = 7
+	if _, err := New(memsys.KindRCInv, p); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := New("nope", memsys.Default(16)); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestComputeAccounting(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	res := m.Run("t", func(e *Env) {
+		e.Compute(Time(100 * (e.ID() + 1)))
+	})
+	if res.ExecTime != 1600 {
+		t.Fatalf("ExecTime = %d, want 1600", res.ExecTime)
+	}
+	if res.Procs[0].Compute != 100 || res.Procs[15].Compute != 1600 {
+		t.Fatalf("per-proc compute wrong: %v", res.Procs)
+	}
+	if res.App != "t" || res.System != memsys.KindPRAM {
+		t.Fatalf("labels wrong: %s", res)
+	}
+}
+
+func TestValuesFlowBetweenProcs(t *testing.T) {
+	for _, kind := range memsys.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			m := newM(t, kind)
+			arr := shm.NewU64(m.Heap, 16)
+			m.Run("t", func(e *Env) {
+				arr.Set(e, e.ID(), uint64(e.ID()*7))
+				e.Compute(100000) // let everything settle
+				// Read a neighbour's value (written under no race: the
+				// write precedes in virtual time thanks to Compute skew).
+				_ = arr.Get(e, e.ID())
+			})
+			for i := 0; i < 16; i++ {
+				if got := m.PeekU64(arr.At(i)); got != uint64(i*7) {
+					t.Fatalf("final value[%d] = %d, want %d", i, got, i*7)
+				}
+			}
+		})
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	a := m.Alloc(64)
+	res := m.Run("t", func(e *Env) {
+		if e.ID() != 0 {
+			return
+		}
+		_ = e.LoadU64(a) // cold miss: read stall
+		e.StoreU64(a+32, 1)
+		e.StoreU64(a+64, 1)
+		e.StoreU64(a+96, 1)
+		e.StoreU64(a+128, 1)
+		e.StoreU64(a+160, 1) // 5th pending write: write stall
+		e.ReleasePoint()     // buffer flush
+	})
+	p := res.Procs[0]
+	if p.ReadStall == 0 {
+		t.Error("expected read stall from the cold miss")
+	}
+	if p.WriteStall == 0 {
+		t.Error("expected write stall from the full store buffer")
+	}
+	if p.BufferFlush == 0 {
+		t.Error("expected buffer flush at the release point")
+	}
+	if res.Counters.Reads != 1 || res.Counters.Writes != 5 {
+		t.Errorf("counters: %s", &res.Counters)
+	}
+}
+
+func TestPeekPoke(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	m.PokeU64(8, 99)
+	if m.PeekU64(8) != 99 {
+		t.Fatal("u64 poke/peek failed")
+	}
+	m.PokeF64(16, 2.5)
+	if m.PeekF64(16) != 2.5 {
+		t.Fatal("f64 poke/peek failed")
+	}
+}
+
+func TestPokeVisibleToSimulatedLoads(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	a := m.Alloc(8)
+	m.PokeU64(a, 1234) // pre-run initialization
+	var got uint64
+	m.Run("t", func(e *Env) {
+		if e.ID() == 0 {
+			got = e.LoadU64(a)
+		}
+	})
+	if got != 1234 {
+		t.Fatalf("load = %d, want 1234", got)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	m.Run("t", func(e *Env) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	m.Run("t", func(e *Env) {})
+}
+
+func TestZeroOverheadOnZMachine(t *testing.T) {
+	m := newM(t, memsys.KindZMachine)
+	arr := shm.NewU64(m.Heap, 64)
+	res := m.Run("t", func(e *Env) {
+		for i := 0; i < 4; i++ {
+			arr.Set(e, e.ID()*4+i, 1)
+			e.Compute(500)
+			_ = arr.Get(e, e.ID()*4+i)
+		}
+	})
+	if res.TotalWriteStall() != 0 || res.TotalBufferFlush() != 0 {
+		t.Fatalf("z-machine write stall/flush must be zero: %s", res)
+	}
+	// Producers reading their own data after ample compute: no read stall.
+	if res.TotalReadStall() != 0 {
+		t.Fatalf("local reads stalled: %s", res)
+	}
+	if res.OverheadPct() != 0 {
+		t.Fatalf("overhead = %g, want 0", res.OverheadPct())
+	}
+}
+
+func TestEnvBasics(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	m.Run("t", func(e *Env) {
+		if e.NumProcs() != 16 {
+			t.Errorf("NumProcs = %d", e.NumProcs())
+		}
+		if e.Machine() != m {
+			t.Error("Machine() wrong")
+		}
+		if e.Params().Procs != 16 {
+			t.Error("Params() wrong")
+		}
+		before := e.Clock()
+		e.Compute(10)
+		if e.Clock() != before+10 {
+			t.Error("Compute did not advance the clock")
+		}
+	})
+}
+
+func TestMultithreadCoreSerializes(t *testing.T) {
+	p := memsys.DefaultMT(2, 2) // one node, two threads
+	m := MustNew(memsys.KindPRAM, p)
+	res := m.Run("t", func(e *Env) {
+		e.Compute(100)
+	})
+	// The two threads share one core: total compute serializes.
+	if res.ExecTime != 200 {
+		t.Fatalf("exec = %d, want 200 (core-serialized)", res.ExecTime)
+	}
+	if res.TotalCoreWait() != 100 {
+		t.Fatalf("core wait = %d, want 100", res.TotalCoreWait())
+	}
+}
+
+func TestSingleThreadNoCoreWait(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	a := m.Alloc(64)
+	res := m.Run("t", func(e *Env) {
+		e.Compute(50)
+		_ = e.LoadU64(a)
+	})
+	if res.TotalCoreWait() != 0 {
+		t.Fatalf("core wait = %d with one thread per node", res.TotalCoreWait())
+	}
+}
+
+func TestMultithreadStallOverlap(t *testing.T) {
+	// Two threads on one node alternate a remote miss (which releases the
+	// core) with computation: thread B computes while thread A stalls, so
+	// the total time beats the serialized sum.
+	run := func(threads int) Time {
+		p := memsys.DefaultMT(threads, threads) // one node
+		m := MustNew(memsys.KindRCInv, p)
+		arrs := make([]memsys.Addr, threads)
+		for i := range arrs {
+			arrs[i] = m.Alloc(64 * 32)
+		}
+		res := m.Run("t", func(e *Env) {
+			base := arrs[e.ID()]
+			for i := 0; i < 32; i++ {
+				_ = e.LoadU64(base + memsys.Addr(i*32)) // cold remote miss
+				e.Compute(40)
+			}
+		})
+		return res.ExecTime
+	}
+	one := run(1)
+	two := run(2)
+	// Two threads do twice the work; with full overlap the time is far
+	// below 2x the single-thread time.
+	if float64(two) >= 1.7*float64(one) {
+		t.Fatalf("no latency tolerance: 1 thread %d cycles, 2 threads %d", one, two)
+	}
+}
+
+func TestMultithreadSharedCache(t *testing.T) {
+	p := memsys.DefaultMT(2, 2) // one node, two threads sharing the cache
+	m := MustNew(memsys.KindRCInv, p)
+	a := m.Alloc(64)
+	var stall0, stall1 Time
+	res := m.Run("t", func(e *Env) {
+		if e.ID() == 0 {
+			_ = e.LoadU64(a) // miss, fills the node's cache
+		} else {
+			e.Compute(100000)
+			_ = e.LoadU64(a) // same node: must hit
+		}
+	})
+	stall0 = res.Procs[0].ReadStall
+	stall1 = res.Procs[1].ReadStall
+	if stall0 == 0 {
+		t.Fatal("first access should miss")
+	}
+	if stall1 != 0 {
+		t.Fatalf("sibling thread stalled %d on a line its node already caches", stall1)
+	}
+}
+
+func TestTraceRecordsAccesses(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	rec := m.EnableTrace(1024)
+	if m.Trace() != rec {
+		t.Fatal("Trace() should return the attached recorder")
+	}
+	a := m.Alloc(64)
+	m.Run("t", func(e *Env) {
+		if e.ID() != 0 {
+			return
+		}
+		_ = e.LoadU64(a)
+		e.StoreU64(a, 1)
+		e.ReleasePoint()
+	})
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Stall == 0 {
+		t.Error("cold read should have recorded a stall")
+	}
+	hot := rec.HotLines(32, 1)
+	if len(hot) != 1 || hot[0].Accesses != 2 {
+		t.Fatalf("hot lines wrong: %v", hot)
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	if m.Trace() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	a := m.Alloc(8)
+	m.Run("t", func(e *Env) { _ = e.LoadU64(a) }) // must not panic
+}
+
+func TestF64LoadStore(t *testing.T) {
+	m := newM(t, memsys.KindRCUpd)
+	a := m.Alloc(8)
+	var got float64
+	m.Run("t", func(e *Env) {
+		if e.ID() != 0 {
+			return
+		}
+		e.StoreF64(a, 6.25)
+		got = e.LoadF64(a)
+	})
+	if got != 6.25 {
+		t.Fatalf("f64 roundtrip = %g", got)
+	}
+	if m.PeekF64(a) != 6.25 {
+		t.Fatal("backing store wrong")
+	}
+}
+
+func TestAtomicSwapSemantics(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	a := m.Alloc(8)
+	m.PokeU64(a, 7)
+	res := m.Run("t", func(e *Env) {
+		if e.ID() != 0 {
+			return
+		}
+		if old := e.AtomicSwapU64(a, 9); old != 7 {
+			t.Errorf("swap returned %d, want 7", old)
+		}
+		if e.LoadU64(a) != 9 {
+			t.Error("swap did not store")
+		}
+	})
+	// The swap's read half is a cold miss: read stall must be charged.
+	if res.Procs[0].ReadStall == 0 {
+		t.Error("atomic swap should charge read stall on a cold line")
+	}
+	if res.Counters.Reads != 2 || res.Counters.Writes != 1 {
+		t.Errorf("counters: %s", &res.Counters)
+	}
+}
+
+func TestReleaseWatermarkPerSystem(t *testing.T) {
+	// On rcsync the watermark extends past pending writes; on rcinv it is
+	// just the clock (the interface is not implemented).
+	for _, kind := range []memsys.Kind{memsys.KindRCSync, memsys.KindRCInv} {
+		kind := kind
+		m := newM(t, kind)
+		a := m.Alloc(64)
+		m.Run("t", func(e *Env) {
+			if e.ID() != 0 {
+				return
+			}
+			e.StoreU64(a, 1)
+			wm := e.ReleaseWatermark()
+			if kind == memsys.KindRCSync && wm <= e.Clock() {
+				t.Errorf("rcsync watermark %d should exceed clock %d", wm, e.Clock())
+			}
+			if kind == memsys.KindRCInv && wm != e.Clock() {
+				t.Errorf("rcinv watermark %d should equal clock %d", wm, e.Clock())
+			}
+		})
+	}
+}
+
+func TestNodeIDAndHelpers(t *testing.T) {
+	p := memsys.DefaultMT(8, 2)
+	m := MustNew(memsys.KindPRAM, p)
+	if m.NumProcs() != 8 {
+		t.Fatalf("NumProcs = %d", m.NumProcs())
+	}
+	m.Run("t", func(e *Env) {
+		if e.NodeID() != e.ID()/2 {
+			t.Errorf("P%d NodeID = %d", e.ID(), e.NodeID())
+		}
+		e.SyncPoint()
+		e.AdvanceTo(100)
+		if e.Clock() < 100 {
+			t.Error("AdvanceTo failed")
+		}
+		e.AddSyncWait(5)
+	})
+}
+
+func TestSendCtrlTravels(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	m.Run("t", func(e *Env) {
+		if e.ID() != 0 {
+			return
+		}
+		arr := e.SendCtrl(15, e.Clock())
+		if arr <= e.Clock() {
+			t.Error("remote control message should take time")
+		}
+		if e.SendCtrlFrom(3, 3, 10) != 10 {
+			t.Error("local message should be free")
+		}
+	})
+}
+
+func TestBlockUnblockThroughEnv(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	envs := make([]*Env, 16)
+	m.Run("t", func(e *Env) {
+		envs[e.ID()] = e
+		switch e.ID() {
+		case 0:
+			e.Block("wait for P1")
+			if e.Clock() < 500 {
+				t.Errorf("unblocked too early at %d", e.Clock())
+			}
+		case 1:
+			e.Compute(500)
+			e.SyncPoint()
+			envs[0].Unblock(e.Clock())
+		}
+	})
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew("bogus", memsys.Default(16))
+}

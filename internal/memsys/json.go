@@ -1,0 +1,30 @@
+package memsys
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encodes the parameter block for experiment configuration files.
+func (pa Params) JSON() ([]byte, error) {
+	return json.MarshalIndent(pa, "", "  ")
+}
+
+// ParamsFromJSON decodes a parameter block. Decoding starts from the
+// paper's defaults for 16 processors, so a configuration file only needs
+// the fields it changes; if the interconnect dimensions are left
+// inconsistent with the (possibly changed) node count, they are recomputed
+// automatically.
+func ParamsFromJSON(data []byte) (Params, error) {
+	pa := Default(16)
+	if err := json.Unmarshal(data, &pa); err != nil {
+		return Params{}, fmt.Errorf("memsys: bad params JSON: %w", err)
+	}
+	if pa.HWThreads > 0 && pa.Procs%pa.HWThreads == 0 && pa.MeshW*pa.MeshH != pa.Nodes() {
+		pa.MeshW, pa.MeshH = meshShape(pa.Nodes())
+	}
+	if err := pa.Validate(); err != nil {
+		return Params{}, err
+	}
+	return pa, nil
+}

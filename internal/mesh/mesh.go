@@ -1,0 +1,144 @@
+// Package mesh models the CC-NUMA interconnect of the paper's simulated
+// machine: a 2-D mesh with dimension-order (XY) routing, a configurable link
+// bandwidth (the paper uses 1.6 CPU cycles per byte) and per-link FIFO
+// contention. Messages occupy each link on their path for size-proportional
+// time; a later message queues behind an earlier one on a shared link.
+//
+// Because the simulation kernel delivers globally visible operations in
+// nondecreasing virtual time, modelling a link as a busy-until timestamp is
+// an exact FIFO queue.
+package mesh
+
+import (
+	"fmt"
+
+	"zsim/internal/memsys"
+)
+
+// Time aliases the kernel's virtual time.
+type Time = memsys.Time
+
+// Net is the interconnect between the machine's nodes: a routing topology
+// (mesh by default — the paper's network) plus link bandwidth, per-hop
+// latency, and per-link FIFO contention.
+type Net struct {
+	p    memsys.Params
+	topo Topology
+
+	// busy[from*n+to] is the time at which link from→to becomes free; for
+	// a shared-medium topology (bus) busBusy serializes every transfer.
+	busy    []Time
+	busBusy Time
+
+	// Stats.
+	msgs     uint64
+	bytes    uint64
+	queueing Time // total cycles spent waiting for busy links
+	occupied Time // total link-occupancy cycles injected
+}
+
+// New builds the interconnect described by p.
+func New(p memsys.Params) *Net {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	topo, err := NewTopology(p.Topology, p.MeshW, p.MeshH)
+	if err != nil {
+		panic(err)
+	}
+	n := topo.Nodes()
+	return &Net{p: p, topo: topo, busy: make([]Time, n*n)}
+}
+
+// Topology returns the routing topology in use.
+func (n *Net) Topology() Topology { return n.topo }
+
+// Hops returns the routing hop count between two nodes.
+func (n *Net) Hops(src, dst int) int { return len(n.topo.Path(src, dst)) - 1 }
+
+// Path returns the sequence of nodes visited from src to dst, inclusive of
+// both endpoints.
+func (n *Net) Path(src, dst int) []int { return n.topo.Path(src, dst) }
+
+// Send injects a message of the given size from src to dst at time start and
+// returns its arrival time, modelling store-and-forward transfer with
+// per-link FIFO contention. A message to the local node arrives immediately.
+func (n *Net) Send(src, dst, bytes int, start Time) Time {
+	if src == dst {
+		return start
+	}
+	n.msgs++
+	n.bytes += uint64(bytes)
+	transfer := n.p.TransferCycles(bytes)
+	t := start
+	if n.topo.Shared() {
+		// Bus: one hop, all transfers serialize on the medium.
+		begin := t + n.p.HopLatency
+		if n.busBusy > begin {
+			n.queueing += n.busBusy - begin
+			begin = n.busBusy
+		}
+		depart := begin + transfer
+		n.busBusy = depart
+		n.occupied += transfer
+		return depart
+	}
+	path := n.topo.Path(src, dst)
+	nodes := n.topo.Nodes()
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		arrive := t + n.p.HopLatency
+		idx := from*nodes + to
+		begin := arrive
+		if b := n.busy[idx]; b > begin {
+			n.queueing += b - begin
+			begin = b
+		}
+		depart := begin + transfer
+		n.busy[idx] = depart
+		n.occupied += transfer
+		t = depart
+	}
+	return t
+}
+
+// UncontendedLatency returns the latency a message would see on an idle
+// network — the z-machine's propagation delay L, determined only by the
+// link bandwidth (paper §2.2: no contention in the z-machine).
+func (n *Net) UncontendedLatency(src, dst, bytes int) Time {
+	if src == dst {
+		return 0
+	}
+	transfer := n.p.TransferCycles(bytes)
+	return Time(n.Hops(src, dst)) * (n.p.HopLatency + transfer)
+}
+
+// MaxUncontendedLatency returns the worst-case uncontended latency from src
+// to any node — the propagation bound used by the z-machine's availability
+// counter when the oracle ships a datum to every consumer.
+func (n *Net) MaxUncontendedLatency(src, bytes int) Time {
+	var max Time
+	for d := 0; d < n.topo.Nodes(); d++ {
+		if l := n.UncontendedLatency(src, d, bytes); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Messages returns the number of messages injected.
+func (n *Net) Messages() uint64 { return n.msgs }
+
+// Bytes returns the total payload bytes injected.
+func (n *Net) Bytes() uint64 { return n.bytes }
+
+// QueueingCycles returns the total contention (waiting-for-link) cycles.
+func (n *Net) QueueingCycles() Time { return n.queueing }
+
+// OccupiedCycles returns total link-occupancy cycles injected.
+func (n *Net) OccupiedCycles() Time { return n.occupied }
+
+func (n *Net) String() string {
+	return fmt.Sprintf("%s (%d nodes): msgs=%d bytes=%d queueing=%d",
+		n.topo.Name(), n.topo.Nodes(), n.msgs, n.bytes, n.queueing)
+}

@@ -1,0 +1,159 @@
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology computes routes between nodes. The SPASM framework the paper
+// builds on "provides a choice of network topologies"; these are the
+// classic ones. All are used through Net, which adds link bandwidth,
+// per-hop latency, and contention.
+type Topology interface {
+	// Name identifies the topology.
+	Name() string
+	// Nodes returns the node count.
+	Nodes() int
+	// Path returns the nodes visited from src to dst, inclusive.
+	Path(src, dst int) []int
+	// Shared reports whether all links are one shared medium (a bus).
+	Shared() bool
+}
+
+// NewTopology builds the named topology over n nodes. Supported names:
+// "mesh" (2-D mesh, XY routing — the paper's network), "torus" (2-D with
+// wrap-around links), "hypercube" (dimension-order routing; n must be a
+// power of two), "xbar" (full crossbar: every pair one hop), and "bus"
+// (single shared medium: every transfer serializes).
+func NewTopology(name string, w, h int) (Topology, error) {
+	n := w * h
+	switch name {
+	case "", "mesh":
+		return &gridTopo{w: w, h: h, wrap: false}, nil
+	case "torus":
+		return &gridTopo{w: w, h: h, wrap: true}, nil
+	case "hypercube":
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("mesh: hypercube needs a power-of-two node count, got %d", n)
+		}
+		return &cubeTopo{n: n}, nil
+	case "xbar":
+		return &directTopo{n: n, shared: false}, nil
+	case "bus":
+		return &directTopo{n: n, shared: true}, nil
+	}
+	return nil, fmt.Errorf("mesh: unknown topology %q", name)
+}
+
+// gridTopo is a 2-D mesh or torus with dimension-order (XY) routing.
+type gridTopo struct {
+	w, h int
+	wrap bool
+}
+
+func (g *gridTopo) Name() string {
+	if g.wrap {
+		return "torus"
+	}
+	return "mesh"
+}
+
+func (g *gridTopo) Nodes() int   { return g.w * g.h }
+func (g *gridTopo) Shared() bool { return false }
+
+// step moves coordinate c toward t over size n, using the wrap-around link
+// when the torus makes it shorter.
+func (g *gridTopo) step(c, t, n int) int {
+	if c == t {
+		return c
+	}
+	fwd := (t - c + n) % n
+	bwd := (c - t + n) % n
+	if g.wrap && bwd < fwd {
+		return (c - 1 + n) % n
+	}
+	if g.wrap && fwd <= bwd {
+		return (c + 1) % n
+	}
+	if t > c {
+		return c + 1
+	}
+	return c - 1
+}
+
+func (g *gridTopo) Path(src, dst int) []int {
+	sx, sy := src%g.w, src/g.w
+	dx, dy := dst%g.w, dst/g.w
+	path := []int{src}
+	x, y := sx, sy
+	for x != dx {
+		x = g.step(x, dx, g.w)
+		path = append(path, y*g.w+x)
+	}
+	for y != dy {
+		y = g.step(y, dy, g.h)
+		path = append(path, y*g.w+x)
+	}
+	return path
+}
+
+// cubeTopo is a hypercube with dimension-order (bit-fixing) routing.
+type cubeTopo struct{ n int }
+
+func (c *cubeTopo) Name() string { return "hypercube" }
+func (c *cubeTopo) Nodes() int   { return c.n }
+func (c *cubeTopo) Shared() bool { return false }
+
+func (c *cubeTopo) Path(src, dst int) []int {
+	path := []int{src}
+	cur := src
+	diff := src ^ dst
+	for diff != 0 {
+		bit := diff & -diff
+		cur ^= bit
+		path = append(path, cur)
+		diff &^= bit
+	}
+	return path
+}
+
+// Dim returns the hypercube dimension.
+func (c *cubeTopo) Dim() int { return bits.TrailingZeros(uint(c.n)) }
+
+// directTopo connects every pair with one hop: a crossbar when each pair
+// has its own link, a bus when all transfers share one medium.
+type directTopo struct {
+	n      int
+	shared bool
+}
+
+func (d *directTopo) Name() string {
+	if d.shared {
+		return "bus"
+	}
+	return "xbar"
+}
+
+func (d *directTopo) Nodes() int   { return d.n }
+func (d *directTopo) Shared() bool { return d.shared }
+
+func (d *directTopo) Path(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	return []int{src, dst}
+}
+
+// Hops returns the hop count between two nodes on any topology.
+func Hops(t Topology, src, dst int) int { return len(t.Path(src, dst)) - 1 }
+
+// sanity verifies a path is well formed (used by New).
+func validPath(t Topology, src, dst int) error {
+	p := t.Path(src, dst)
+	if len(p) == 0 || p[0] != src || p[len(p)-1] != dst {
+		return fmt.Errorf("mesh: %s: bad path %v for %d->%d", t.Name(), p, src, dst)
+	}
+	return nil
+}
+
+var _ = validPath // referenced by tests

@@ -1,0 +1,165 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zsim/internal/memsys"
+)
+
+func topoNet(t *testing.T, name string, procs int) *Net {
+	t.Helper()
+	p := memsys.Default(procs)
+	p.Topology = name
+	n := New(p)
+	return n
+}
+
+func allTopos() []string { return []string{"mesh", "torus", "hypercube", "xbar", "bus"} }
+
+func TestTopologyNames(t *testing.T) {
+	for _, name := range allTopos() {
+		n := topoNet(t, name, 16)
+		if got := n.Topology().Name(); got != name {
+			t.Errorf("topology %s reports name %s", name, got)
+		}
+	}
+}
+
+func TestUnknownTopology(t *testing.T) {
+	if _, err := NewTopology("ring-of-fire", 4, 4); err == nil {
+		t.Fatal("expected error")
+	}
+	p := memsys.Default(16)
+	p.Topology = "ring-of-fire"
+	if err := p.Validate(); err == nil {
+		t.Fatal("params should reject unknown topology")
+	}
+}
+
+func TestHypercubeNeedsPowerOfTwo(t *testing.T) {
+	if _, err := NewTopology("hypercube", 4, 3); err == nil {
+		t.Fatal("expected error for 12 nodes")
+	}
+	p := memsys.Default(12)
+	p.Topology = "hypercube"
+	if err := p.Validate(); err == nil {
+		t.Fatal("params should reject 12-node hypercube")
+	}
+}
+
+// Property: every topology produces well-formed paths (right endpoints,
+// no zero-length steps) for all pairs.
+func TestAllTopologiesPathsWellFormed(t *testing.T) {
+	for _, name := range allTopos() {
+		n := topoNet(t, name, 16)
+		for src := 0; src < 16; src++ {
+			for dst := 0; dst < 16; dst++ {
+				path := n.Path(src, dst)
+				if path[0] != src || path[len(path)-1] != dst {
+					t.Fatalf("%s: bad endpoints %v for %d->%d", name, path, src, dst)
+				}
+				for i := 1; i < len(path); i++ {
+					if path[i] == path[i-1] {
+						t.Fatalf("%s: repeated node in path %v", name, path)
+					}
+					if path[i] < 0 || path[i] >= 16 {
+						t.Fatalf("%s: node out of range in %v", name, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTorusShorterThanMesh(t *testing.T) {
+	mesh := topoNet(t, "mesh", 16)
+	torus := topoNet(t, "torus", 16)
+	// Corner to corner: mesh needs 6 hops, torus wraps in 2.
+	if mesh.Hops(0, 15) != 6 {
+		t.Fatalf("mesh corner hops = %d, want 6", mesh.Hops(0, 15))
+	}
+	if torus.Hops(0, 15) != 2 {
+		t.Fatalf("torus corner hops = %d, want 2", torus.Hops(0, 15))
+	}
+	// Torus never exceeds the mesh.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if torus.Hops(s, d) > mesh.Hops(s, d) {
+				t.Fatalf("torus %d->%d longer than mesh", s, d)
+			}
+		}
+	}
+}
+
+func TestHypercubeHopsArePopcount(t *testing.T) {
+	n := topoNet(t, "hypercube", 16)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			want := 0
+			for diff := s ^ d; diff != 0; diff &= diff - 1 {
+				want++
+			}
+			if got := n.Hops(s, d); got != want {
+				t.Fatalf("hypercube Hops(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestXbarSingleHop(t *testing.T) {
+	n := topoNet(t, "xbar", 16)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			want := 1
+			if s == d {
+				want = 0
+			}
+			if n.Hops(s, d) != want {
+				t.Fatalf("xbar Hops(%d,%d) = %d", s, d, n.Hops(s, d))
+			}
+		}
+	}
+	// Distinct pairs do not contend.
+	n.Send(0, 1, 8, 0)
+	n.Send(2, 3, 8, 0)
+	if n.QueueingCycles() != 0 {
+		t.Fatal("xbar pairs should not contend")
+	}
+}
+
+func TestBusSerializesEverything(t *testing.T) {
+	n := topoNet(t, "bus", 16)
+	a := n.Send(0, 1, 8, 0)
+	b := n.Send(2, 3, 8, 0) // disjoint endpoints, same medium
+	if b <= a {
+		t.Fatalf("bus transfers must serialize: %d then %d", a, b)
+	}
+	if n.QueueingCycles() == 0 {
+		t.Fatal("expected bus contention")
+	}
+}
+
+// Property: on every topology, Send on an idle network equals the
+// uncontended latency.
+func TestSendMatchesUncontendedPerTopology(t *testing.T) {
+	for _, name := range allTopos() {
+		name := name
+		f := func(s, d uint8, sz uint8) bool {
+			src, dst := int(s)%16, int(d)%16
+			bytes := int(sz)%64 + 1
+			n := topoNet(t, name, 16)
+			return n.Send(src, dst, bytes, 0) == n.UncontendedLatency(src, dst, bytes)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	n := topoNet(t, "torus", 16)
+	if got := n.String(); got == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,160 @@
+package proto
+
+// White-box coherence invariant checking: after an arbitrary (data-race-
+// free at the protocol level — the simulator serializes operations) access
+// sequence, the directory state and the cache states must agree. These are
+// the safety properties the overhead numbers stand on: a protocol that
+// miscounts sharers produces garbage stall decompositions without failing
+// any application test, so they get their own property tests.
+
+import (
+	"math/rand"
+	"testing"
+
+	"zsim/internal/cache"
+	"zsim/internal/directory"
+	"zsim/internal/memsys"
+	"zsim/internal/mesh"
+)
+
+// checkCoherence validates directory/cache agreement for one base-hardware
+// system.
+func checkCoherence(t *testing.T, b *base, kind memsys.Kind) {
+	t.Helper()
+	nodes := b.p.Nodes()
+	b.dir.ForEach(func(line memsys.Addr, e *directory.Entry) {
+		// Collect actual cache states.
+		holders := 0
+		modified := -1
+		for n := 0; n < nodes; n++ {
+			if l, ok := b.caches[n].Lookup(line); ok {
+				holders++
+				if l.State == cache.Modified {
+					if modified >= 0 {
+						t.Fatalf("%s line %d: two Modified copies (nodes %d and %d)", kind, line, modified, n)
+					}
+					modified = n
+				}
+				if !e.Sharers.Has(n) {
+					t.Fatalf("%s line %d: node %d holds the line but is not a sharer (%v)", kind, line, n, e)
+				}
+			}
+		}
+		switch e.State {
+		case directory.Dirty:
+			if modified != e.Owner {
+				t.Fatalf("%s line %d: dir says owner %d, caches say %d", kind, line, e.Owner, modified)
+			}
+			if holders != 1 {
+				t.Fatalf("%s line %d: Dirty with %d cached copies", kind, line, holders)
+			}
+		case directory.SharedClean, directory.Special:
+			if modified >= 0 {
+				t.Fatalf("%s line %d: %s state but node %d holds Modified", kind, line, e.State, modified)
+			}
+			// With infinite caches every presence bit is backed by a copy.
+			e.Sharers.ForEach(func(n int) {
+				if _, ok := b.caches[n].Lookup(line); !ok {
+					t.Fatalf("%s line %d: presence bit for node %d without a cached copy", kind, line, n)
+				}
+			})
+		case directory.Uncached:
+			if holders != 0 {
+				t.Fatalf("%s line %d: Uncached but %d copies exist", kind, line, holders)
+			}
+		}
+	})
+}
+
+// baseOf extracts the base hardware from a system built in this package.
+func baseOf(s memsys.MemSystem) *base {
+	switch v := s.(type) {
+	case *inv:
+		return &v.base
+	case *upd:
+		return &v.base
+	}
+	return nil
+}
+
+func TestCoherenceInvariantsUnderRandomTraffic(t *testing.T) {
+	kinds := []memsys.Kind{memsys.KindRCInv, memsys.KindSCInv, memsys.KindRCUpd, memsys.KindRCComp, memsys.KindRCAdapt}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			p := memsys.Default(16)
+			s := MustNew(kind, p, mesh.New(p))
+			b := baseOf(s)
+			if b == nil {
+				t.Fatal("system does not expose base hardware")
+			}
+			rng := rand.New(rand.NewSource(42))
+			now := Time(0)
+			for i := 0; i < 5000; i++ {
+				proc := rng.Intn(16)
+				addr := memsys.Addr(rng.Intn(64)) * 8 // 16 lines, heavy sharing
+				switch rng.Intn(4) {
+				case 0, 1:
+					now += s.Read(proc, addr, 8, now) + 1
+				case 2:
+					now += s.Write(proc, addr, 8, now) + 1
+				case 3:
+					now += s.Release(proc, now) + 1
+				}
+				if i%500 == 0 {
+					checkCoherence(t, b, kind)
+				}
+			}
+			// Drain all buffers, then do a final full check.
+			for proc := 0; proc < 16; proc++ {
+				now += s.Release(proc, now)
+			}
+			checkCoherence(t, b, kind)
+		})
+	}
+}
+
+// The same invariants must hold with finite caches (evictions update the
+// directory) and with hardware multithreading (streams share node caches).
+func TestCoherenceInvariantsFiniteAndMT(t *testing.T) {
+	configs := []struct {
+		name string
+		p    memsys.Params
+	}{
+		{"finite", func() memsys.Params {
+			p := memsys.Default(16)
+			p.FiniteCache = true
+			p.CacheLines = 8
+			p.CacheAssoc = 2
+			return p
+		}()},
+		{"mt", memsys.DefaultMT(16, 4)},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, kind := range []memsys.Kind{memsys.KindRCInv, memsys.KindRCUpd} {
+				s := MustNew(kind, cfg.p, mesh.New(cfg.p))
+				b := baseOf(s)
+				rng := rand.New(rand.NewSource(7))
+				now := Time(0)
+				for i := 0; i < 3000; i++ {
+					proc := rng.Intn(16)
+					addr := memsys.Addr(rng.Intn(128)) * 8
+					switch rng.Intn(4) {
+					case 0, 1:
+						now += s.Read(proc, addr, 8, now) + 1
+					case 2:
+						now += s.Write(proc, addr, 8, now) + 1
+					case 3:
+						now += s.Release(proc, now) + 1
+					}
+				}
+				for proc := 0; proc < 16; proc++ {
+					now += s.Release(proc, now)
+				}
+				checkCoherence(t, b, kind)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package proto
+
+import (
+	"zsim/internal/directory"
+	"zsim/internal/memsys"
+	"zsim/internal/mesh"
+)
+
+// zmc is the paper's z-machine: the zero-overhead reference model whose only
+// communication cost is the data flow inherent in the application (§2.2).
+//
+//   - The coherence unit is one word (4 bytes), so only true sharing
+//     communicates.
+//   - The producer is an oracle that ships a written datum to its consumers
+//     immediately and never stalls: no write stall, no buffer flush.
+//   - The datum becomes visible at consumers after the uncontended
+//     propagation latency L, derived from the link bandwidth alone (there is
+//     no contention in the z-machine). The per-block availability timestamp
+//     implements the paper's §3 counter mechanism: a write "increments" the
+//     counter and the counter "reaches zero" at AvailableAt; a read before
+//     that time stalls — and that stall is, by construction, the
+//     application's inherent communication cost.
+//   - Synchronization provides control flow only; the availability counter
+//     alone guarantees data flow (§3), i.e. the consistency model is the
+//     weakest commensurate with the application's data access pattern.
+type zmc struct {
+	p          memsys.Params
+	net        *mesh.Net
+	dir        *directory.Directory // line size = ZLineSize
+	lastWriter map[memsys.Addr]int
+	// lastWrite is the issue time of the line's most recent write
+	// (perfect-oracle mode computes per-consumer availability from it).
+	lastWrite map[memsys.Addr]Time
+	perfect   bool
+	ctr       *memsys.Counters
+}
+
+func newZMachine(p memsys.Params, net *mesh.Net) *zmc {
+	return &zmc{
+		p:          p,
+		net:        net,
+		dir:        directory.New(p.Nodes(), p.ZLineSize),
+		lastWriter: make(map[memsys.Addr]int),
+		lastWrite:  make(map[memsys.Addr]Time),
+		perfect:    p.ZOracle == "perfect",
+		ctr:        memsys.NewCounters(p.Procs),
+	}
+}
+
+func (z *zmc) Name() memsys.Kind          { return memsys.KindZMachine }
+func (z *zmc) Counters() *memsys.Counters { return z.ctr }
+
+// lines visits every z-machine word-line covered by [addr, addr+size).
+func (z *zmc) lines(addr memsys.Addr, size int, f func(line memsys.Addr)) {
+	first := memsys.Line(addr, z.p.ZLineSize)
+	last := memsys.Line(addr+memsys.Addr(size-1), z.p.ZLineSize)
+	for l := first; l <= last; l++ {
+		f(l)
+	}
+}
+
+func (z *zmc) Write(p int, addr memsys.Addr, size int, now Time) Time {
+	z.ctr.CountWrite(p)
+	n := z.p.Node(p)
+	// The oracle ships the datum to the consumers; the producer proceeds
+	// immediately. Propagation completes within the worst-case uncontended
+	// latency from the producer.
+	L := z.net.MaxUncontendedLatency(n, z.p.ZLineSize)
+	z.lines(addr, size, func(line memsys.Addr) {
+		e := z.dir.Entry(line * memsys.Addr(z.p.ZLineSize))
+		if z.perfect {
+			// Carry forward the previous write's worst-case availability so
+			// that counter semantics (a read waits for ALL outstanding
+			// writes) still hold across back-to-back writers.
+			if prev, ok := z.lastWrite[line]; ok {
+				if carry := prev + z.net.MaxUncontendedLatency(z.lastWriter[line], z.p.ZLineSize); carry > e.AvailableAt {
+					e.AvailableAt = carry
+				}
+			}
+			z.lastWrite[line] = now
+		} else if avail := now + L; avail > e.AvailableAt {
+			e.AvailableAt = avail
+		}
+		z.lastWriter[line] = n
+		z.ctr.Updates++
+		z.ctr.NetworkCycles += uint64(L)
+	})
+	return 0
+}
+
+func (z *zmc) Read(p int, addr memsys.Addr, size int, now Time) Time {
+	z.ctr.CountRead(p)
+	n := z.p.Node(p)
+	var stall Time
+	z.lines(addr, size, func(line memsys.Addr) {
+		e, ok := z.dir.Lookup(line * memsys.Addr(z.p.ZLineSize))
+		if !ok {
+			return
+		}
+		// The producer's node reads its own value locally.
+		w, wok := z.lastWriter[line]
+		if wok && w == n {
+			return
+		}
+		avail := e.AvailableAt
+		if z.perfect && wok {
+			// Perfect oracle: this consumer waits only for the datum's
+			// flight time from the producer to itself.
+			if t := z.lastWrite[line] + z.net.UncontendedLatency(w, n, z.p.ZLineSize); t > avail {
+				avail = t
+			}
+		}
+		if avail > now {
+			if s := avail - now; s > stall {
+				stall = s
+			}
+		}
+	})
+	if stall > 0 {
+		z.ctr.ReadMisses++ // an inherent-communication wait, not a cache event
+	}
+	return stall
+}
+
+// Release and Acquire cost nothing: synchronization in the z-machine is
+// control flow only (§3) — no buffer flush, no write stall, ever.
+func (z *zmc) Release(int, Time) Time { return 0 }
+func (z *zmc) Acquire(int, Time) Time { return 0 }
+
+// pram is the PRAM reference: unit-cost memory with no communication cost at
+// all. The paper's §5 headline result is that the z-machine's performance
+// matches the PRAM's on all four applications.
+type pram struct {
+	ctr *memsys.Counters
+}
+
+func newPRAM(p memsys.Params) *pram { return &pram{ctr: memsys.NewCounters(p.Procs)} }
+
+func (m *pram) Name() memsys.Kind          { return memsys.KindPRAM }
+func (m *pram) Counters() *memsys.Counters { return m.ctr }
+
+func (m *pram) Read(p int, _ memsys.Addr, _ int, _ Time) Time {
+	m.ctr.CountRead(p)
+	return 0
+}
+
+func (m *pram) Write(p int, _ memsys.Addr, _ int, _ Time) Time {
+	m.ctr.CountWrite(p)
+	return 0
+}
+
+func (m *pram) Release(int, Time) Time { return 0 }
+func (m *pram) Acquire(int, Time) Time { return 0 }

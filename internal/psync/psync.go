@@ -1,0 +1,194 @@
+// Package psync provides the simulated synchronization primitives the
+// applications coordinate with: queued spin locks, centralized barriers,
+// producer-consumer flags, and lock-protected shared counters and work
+// queues.
+//
+// Synchronization has two cost components (paper §2.1): the inherent
+// process-coordination wait, accounted as SyncWait, and whatever the memory
+// model tacks on at synchronization points — under release consistency a
+// release must drain the write buffers, and that wait is accounted as
+// buffer-flush overhead by the machine layer's ReleasePoint.
+package psync
+
+import (
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+)
+
+// Time aliases virtual time.
+type Time = memsys.Time
+
+// Lock is a FIFO queue lock mediated by the home node of its address: an
+// acquire sends a request to the home, which grants the lock immediately or
+// queues the requester; a release hands the lock to the next waiter.
+type Lock struct {
+	m      *machine.Machine
+	addr   memsys.Addr
+	home   int
+	held   bool
+	freeAt Time
+	queue  []*machine.Env
+}
+
+// NewLock allocates a lock in shared memory (its address determines the
+// home node that mediates it).
+func NewLock(m *machine.Machine) *Lock {
+	addr := m.Alloc(8)
+	return &Lock{m: m, addr: addr, home: m.Params.Home(addr, m.Params.LineSize)}
+}
+
+// Acquire blocks until the lock is granted. The wait is SyncWait; the grant
+// applies acquire semantics.
+func (l *Lock) Acquire(e *machine.Env) {
+	e.SyncPoint()
+	start := e.Clock()
+	if !l.held {
+		req := e.SendCtrl(l.home, start) + l.m.Params.LockLatency
+		if l.freeAt > req {
+			req = l.freeAt
+		}
+		grant := e.SendCtrlFrom(l.home, e.NodeID(), req)
+		e.AdvanceTo(grant)
+		e.AddSyncWait(e.Clock() - start)
+		l.held = true
+	} else {
+		l.queue = append(l.queue, e)
+		e.Block("lock acquire")
+		e.AddSyncWait(e.Clock() - start)
+	}
+	e.AcquirePoint()
+}
+
+// Release applies release semantics (buffer flush) and hands the lock to
+// the next waiter, if any.
+func (l *Lock) Release(e *machine.Env) {
+	if !l.held {
+		panic("psync: Release of unheld lock")
+	}
+	e.ReleasePoint()
+	now := e.Clock()
+	rel := e.SendCtrl(l.home, now) + l.m.Params.LockLatency
+	// Under a data-flow-decoupled system (rcsync) the lock is observably
+	// free only once the holder's writes are globally performed.
+	if wm := e.ReleaseWatermark(); wm > rel {
+		rel = wm
+	}
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		grant := e.SendCtrlFrom(l.home, w.NodeID(), rel)
+		w.Unblock(grant)
+		// The lock stays held: ownership passed directly to w.
+	} else {
+		l.held = false
+		l.freeAt = rel
+	}
+}
+
+// Barrier is a centralized barrier mediated by node 0: arrivals send a
+// control message; the last arrival broadcasts the release.
+type Barrier struct {
+	m       *machine.Machine
+	n       int
+	waiting []*machine.Env
+	maxArr  Time
+}
+
+// NewBarrier returns a reusable barrier for all of m's processors.
+func NewBarrier(m *machine.Machine) *Barrier { return NewBarrierN(m, m.NumProcs()) }
+
+// NewBarrierN returns a reusable barrier for n participants.
+func NewBarrierN(m *machine.Machine, n int) *Barrier {
+	if n <= 0 {
+		panic("psync: barrier needs at least one participant")
+	}
+	return &Barrier{m: m, n: n}
+}
+
+// Wait applies release semantics (arrival is a release point), parks until
+// all n participants have arrived, and applies acquire semantics on exit.
+func (b *Barrier) Wait(e *machine.Env) {
+	e.ReleasePoint()
+	start := e.Clock()
+	arr := e.SendCtrl(0, start) + b.m.Params.BarrierLatency
+	if wm := e.ReleaseWatermark(); wm > arr {
+		arr = wm // rcsync: the barrier release waits for the writes instead
+	}
+	if arr > b.maxArr {
+		b.maxArr = arr
+	}
+	if len(b.waiting)+1 < b.n {
+		b.waiting = append(b.waiting, e)
+		e.Block("barrier")
+		e.AddSyncWait(e.Clock() - start)
+	} else {
+		rel := b.maxArr
+		for _, w := range b.waiting {
+			grant := e.SendCtrlFrom(0, w.NodeID(), rel)
+			w.Unblock(grant)
+		}
+		b.waiting = b.waiting[:0]
+		b.maxArr = 0
+		self := e.SendCtrlFrom(0, e.NodeID(), rel)
+		e.AdvanceTo(self)
+		e.AddSyncWait(e.Clock() - start)
+	}
+	e.AcquirePoint()
+}
+
+// Flag is a one-shot producer-consumer event.
+type Flag struct {
+	m       *machine.Machine
+	set     bool
+	setAt   Time
+	setter  int // node of the setting stream
+	waiting []*machine.Env
+}
+
+// NewFlag returns an unset flag.
+func NewFlag(m *machine.Machine) *Flag { return &Flag{m: m} }
+
+// Set raises the flag (a release point) and wakes all waiters.
+func (f *Flag) Set(e *machine.Env) {
+	e.ReleasePoint()
+	f.set = true
+	f.setAt = e.Clock()
+	if wm := e.ReleaseWatermark(); wm > f.setAt {
+		f.setAt = wm // rcsync: consumers observe the flag after the writes land
+	}
+	f.setter = e.NodeID()
+	for _, w := range f.waiting {
+		grant := e.SendCtrlFrom(f.setter, w.NodeID(), f.setAt)
+		w.Unblock(grant)
+	}
+	f.waiting = nil
+}
+
+// Wait parks until the flag is set; returns immediately (after the
+// notification's propagation) if it already is.
+func (f *Flag) Wait(e *machine.Env) {
+	e.SyncPoint()
+	start := e.Clock()
+	if f.set {
+		arr := e.SendCtrlFrom(f.setter, e.NodeID(), f.setAt)
+		e.AdvanceTo(arr)
+		e.AddSyncWait(e.Clock() - start)
+	} else {
+		f.waiting = append(f.waiting, e)
+		e.Block("flag wait")
+		e.AddSyncWait(e.Clock() - start)
+	}
+	e.AcquirePoint()
+}
+
+// IsSet reports the flag state without waiting (a cheap local test).
+func (f *Flag) IsSet() bool { return f.set }
+
+// Reset lowers the flag for reuse. Only safe between phases when no
+// processor can be waiting.
+func (f *Flag) Reset() {
+	if len(f.waiting) > 0 {
+		panic("psync: Reset of a flag with waiters")
+	}
+	f.set = false
+}

@@ -1,0 +1,94 @@
+package psync
+
+import (
+	"zsim/internal/machine"
+	"zsim/internal/shm"
+)
+
+// Counter is a lock-protected shared counter (the simulated equivalent of a
+// fetch-and-add cell). Every operation performs real simulated accesses.
+type Counter struct {
+	lock *Lock
+	cell shm.I64
+}
+
+// NewCounter allocates a counter initialized to v.
+func NewCounter(m *machine.Machine, v int64) *Counter {
+	c := &Counter{lock: NewLock(m), cell: shm.NewI64(m.Heap, 1)}
+	m.PokeU64(c.cell.At(0), uint64(v))
+	return c
+}
+
+// Add atomically adds d and returns the new value.
+func (c *Counter) Add(e *machine.Env, d int64) int64 {
+	c.lock.Acquire(e)
+	v := c.cell.Add(e, 0, d)
+	c.lock.Release(e)
+	return v
+}
+
+// Get reads the current value (unlocked snapshot).
+func (c *Counter) Get(e *machine.Env) int64 { return c.cell.Get(e, 0) }
+
+// Queue is a lock-protected bounded FIFO work queue in shared memory —
+// the central/local task queues of the Cholesky and Maxflow applications.
+// Slots, head, and tail all live in shared memory, so queue manipulation
+// generates the coherence traffic the paper attributes to task queues.
+type Queue struct {
+	lock *Lock
+	buf  shm.I64
+	meta shm.I64 // [0]=head, [1]=tail (monotonic; index = mod capacity)
+}
+
+// NewQueue allocates a queue with the given capacity.
+func NewQueue(m *machine.Machine, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("psync: queue capacity must be positive")
+	}
+	return &Queue{
+		lock: NewLock(m),
+		buf:  shm.NewI64(m.Heap, capacity),
+		meta: shm.NewI64(m.Heap, 2),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.buf.Len() }
+
+// Push appends v; it reports false if the queue is full.
+func (q *Queue) Push(e *machine.Env, v int64) bool {
+	q.lock.Acquire(e)
+	head := q.meta.Get(e, 0)
+	tail := q.meta.Get(e, 1)
+	if int(tail-head) >= q.buf.Len() {
+		q.lock.Release(e)
+		return false
+	}
+	q.buf.Set(e, int(tail)%q.buf.Len(), v)
+	q.meta.Set(e, 1, tail+1)
+	q.lock.Release(e)
+	return true
+}
+
+// TryPop removes and returns the oldest element, reporting false if empty.
+func (q *Queue) TryPop(e *machine.Env) (int64, bool) {
+	q.lock.Acquire(e)
+	head := q.meta.Get(e, 0)
+	tail := q.meta.Get(e, 1)
+	if head == tail {
+		q.lock.Release(e)
+		return 0, false
+	}
+	v := q.buf.Get(e, int(head)%q.buf.Len())
+	q.meta.Set(e, 0, head+1)
+	q.lock.Release(e)
+	return v, true
+}
+
+// Len returns a snapshot of the queue length.
+func (q *Queue) Len(e *machine.Env) int {
+	q.lock.Acquire(e)
+	n := int(q.meta.Get(e, 1) - q.meta.Get(e, 0))
+	q.lock.Release(e)
+	return n
+}

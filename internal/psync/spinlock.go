@@ -1,0 +1,163 @@
+package psync
+
+import (
+	"zsim/internal/machine"
+	"zsim/internal/shm"
+)
+
+// SpinLock is a software test-and-test-and-set lock built from ordinary
+// shared accesses — the contrast to Lock, whose coordination is a hardware
+// primitive at the home node. A spin lock's behaviour depends heavily on
+// the memory system: under an invalidate protocol the spinning reads hit
+// the local cache until the holder's release invalidates them; under an
+// update protocol the release refreshes every spinner's copy. Its traffic
+// lands in the run's overhead classes (read/write stall), so it is the
+// textbook workload for watching protocols handle synchronization data.
+type SpinLock struct {
+	m       *machine.Machine
+	flag    shm.U64 // [0]: 0 free, 1 held
+	backoff machine.Time
+}
+
+// NewSpinLock allocates a spin lock with the given polling back-off (cycles
+// of local delay between probes; a small constant models a pause loop).
+func NewSpinLock(m *machine.Machine, backoff machine.Time) *SpinLock {
+	if backoff == 0 {
+		backoff = 16
+	}
+	return &SpinLock{m: m, flag: shm.NewU64(m.Heap, 1), backoff: backoff}
+}
+
+// Acquire spins until the test-and-set wins, then applies acquire
+// semantics.
+func (l *SpinLock) Acquire(e *machine.Env) {
+	for spins := 0; ; spins++ {
+		if spins > 10_000_000 {
+			panic("psync: spin lock starved (livelock?)")
+		}
+		// Test: spin on the (cached) flag until it reads free.
+		for l.flag.Get(e, 0) != 0 {
+			e.Compute(l.backoff)
+		}
+		// Test-and-set: one atomic exchange.
+		if e.AtomicSwapU64(l.flag.At(0), 1) == 0 {
+			break
+		}
+		e.Compute(l.backoff)
+	}
+	e.AcquirePoint()
+}
+
+// TryAcquire attempts the lock once without spinning.
+func (l *SpinLock) TryAcquire(e *machine.Env) bool {
+	if l.flag.Get(e, 0) != 0 {
+		return false
+	}
+	if e.AtomicSwapU64(l.flag.At(0), 1) == 0 {
+		e.AcquirePoint()
+		return true
+	}
+	return false
+}
+
+// Release applies release semantics and clears the flag.
+func (l *SpinLock) Release(e *machine.Env) {
+	e.ReleasePoint()
+	l.flag.Set(e, 0, 0)
+}
+
+// TreeBarrier is a combining-tree barrier: arrival messages climb a binary
+// tree of nodes and the release broadcasts back down, so the critical path
+// is O(log P) messages instead of the centralized barrier's O(P)
+// serialization at node 0. Tree traffic is modeled with uncontended
+// latencies (the combine happens at message granularity too fine for the
+// link-occupancy model to track faithfully); the centralized Barrier is
+// the contention-accurate reference.
+type TreeBarrier struct {
+	m       *machine.Machine
+	n       int
+	arrived []arrival
+	waiting []*machine.Env
+}
+
+type arrival struct {
+	node int
+	at   Time
+}
+
+// NewTreeBarrier returns a reusable tree barrier over all processors.
+func NewTreeBarrier(m *machine.Machine) *TreeBarrier {
+	return &TreeBarrier{m: m, n: m.NumProcs()}
+}
+
+// Wait applies release semantics, parks until all participants arrive, and
+// applies acquire semantics on exit.
+func (b *TreeBarrier) Wait(e *machine.Env) {
+	e.ReleasePoint()
+	start := e.Clock()
+	at := start
+	if wm := e.ReleaseWatermark(); wm > at {
+		at = wm // rcsync: the combine waits for the writes instead
+	}
+	b.arrived = append(b.arrived, arrival{node: e.NodeID(), at: at})
+	if len(b.arrived) < b.n {
+		b.waiting = append(b.waiting, e)
+		e.Block("tree barrier")
+		e.AddSyncWait(e.Clock() - start)
+	} else {
+		root := b.combine()
+		for _, w := range b.waiting {
+			w.Unblock(b.releaseAt(root, w.NodeID()))
+		}
+		b.waiting = b.waiting[:0]
+		b.arrived = b.arrived[:0]
+		e.AdvanceTo(b.releaseAt(root, e.NodeID()))
+		e.AddSyncWait(e.Clock() - start)
+	}
+	e.AcquirePoint()
+}
+
+// combine folds the arrivals up the binary tree and returns the time the
+// root observes the last one.
+func (b *TreeBarrier) combine() Time {
+	p := b.m.Params
+	// at[i] is the combined arrival time at tree position i of the current
+	// level; leaves are the participants in arrival order mapped to their
+	// nodes. Pair i combines at the left child's node.
+	type slot struct {
+		node int
+		at   Time
+	}
+	level := make([]slot, len(b.arrived))
+	for i, a := range b.arrived {
+		level[i] = slot{node: a.node, at: a.at + p.BarrierLatency}
+	}
+	net := b.m.Net
+	for len(level) > 1 {
+		next := make([]slot, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			l, r := level[i], level[i+1]
+			// The right child reports to the left child's node.
+			msg := r.at + net.UncontendedLatency(r.node, l.node, p.CtrlBytes)
+			at := l.at
+			if msg > at {
+				at = msg
+			}
+			next = append(next, slot{node: l.node, at: at + p.BarrierLatency})
+		}
+		level = next
+	}
+	return level[0].at
+}
+
+// releaseAt is when the release broadcast reaches the given node: the
+// root's time plus a tree-depth stack of downward hops.
+func (b *TreeBarrier) releaseAt(root Time, node int) Time {
+	p := b.m.Params
+	rootNode := b.m.Params.Node(0)
+	return root + b.m.Net.UncontendedLatency(rootNode, node, p.CtrlBytes) + p.BarrierLatency
+}

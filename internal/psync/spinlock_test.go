@@ -1,0 +1,176 @@
+package psync
+
+import (
+	"testing"
+
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/shm"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	for _, kind := range []memsys.Kind{memsys.KindRCInv, memsys.KindRCUpd, memsys.KindZMachine} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			m := newM(t, kind)
+			l := NewSpinLock(m, 16)
+			cell := shm.NewI64(m.Heap, 1)
+			const perProc = 5
+			m.Run("t", func(e *machine.Env) {
+				for i := 0; i < perProc; i++ {
+					l.Acquire(e)
+					cell.Add(e, 0, 1)
+					e.Compute(25)
+					l.Release(e)
+					e.Compute(10)
+				}
+			})
+			if got := int64(m.PeekU64(cell.At(0))); got != 16*perProc {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, 16*perProc)
+			}
+		})
+	}
+}
+
+func TestSpinLockTryAcquire(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	l := NewSpinLock(m, 0) // 0 => default backoff
+	m.Run("t", func(e *machine.Env) {
+		if e.ID() != 0 {
+			return
+		}
+		if !l.TryAcquire(e) {
+			t.Error("try on a free lock should win")
+		}
+		if l.TryAcquire(e) {
+			t.Error("try on a held lock should fail")
+		}
+		l.Release(e)
+		if !l.TryAcquire(e) {
+			t.Error("try after release should win")
+		}
+		l.Release(e)
+	})
+}
+
+// The spinning reads of a contended spin lock generate coherence traffic
+// that lands in the overhead classes — and an invalidate protocol makes
+// every release invalidate the spinners while an update protocol refreshes
+// them. Both must still be correct; the traffic shape differs.
+func TestSpinLockTrafficVisibleToProtocols(t *testing.T) {
+	run := func(kind memsys.Kind) *memsys.Counters {
+		m := newM(t, kind)
+		l := NewSpinLock(m, 16)
+		m.Run("t", func(e *machine.Env) {
+			for i := 0; i < 3; i++ {
+				l.Acquire(e)
+				e.Compute(200)
+				l.Release(e)
+			}
+		})
+		return m.Mem.Counters()
+	}
+	inv := run(memsys.KindRCInv)
+	if inv.Invalidations == 0 {
+		t.Error("spin lock on rcinv should invalidate spinners on release")
+	}
+	upd := run(memsys.KindRCUpd)
+	if upd.Updates == 0 {
+		t.Error("spin lock on rcupd should update spinners on release")
+	}
+}
+
+func TestAtomicSwapIsAtomicInVirtualTime(t *testing.T) {
+	// All 16 processors swap at virtual time 0; exactly one must see 0.
+	m := newM(t, memsys.KindRCInv)
+	flag := shm.NewU64(m.Heap, 1)
+	winners := 0
+	m.Run("t", func(e *machine.Env) {
+		if e.AtomicSwapU64(flag.At(0), 1) == 0 {
+			winners++
+		}
+	})
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+}
+
+func TestTreeBarrierRendezvous(t *testing.T) {
+	m := newM(t, memsys.KindPRAM)
+	b := NewTreeBarrier(m)
+	var maxArrive, minExit machine.Time
+	m.Run("t", func(e *machine.Env) {
+		e.Compute(machine.Time(100 * e.ID()))
+		if e.Clock() > maxArrive {
+			maxArrive = e.Clock()
+		}
+		b.Wait(e)
+		if minExit == 0 || e.Clock() < minExit {
+			minExit = e.Clock()
+		}
+	})
+	if minExit < maxArrive {
+		t.Fatalf("exit at %d before last arrival at %d", minExit, maxArrive)
+	}
+}
+
+func TestTreeBarrierReusable(t *testing.T) {
+	m := newM(t, memsys.KindRCInv)
+	b := NewTreeBarrier(m)
+	cell := shm.NewI64(m.Heap, 16)
+	m.Run("t", func(e *machine.Env) {
+		for round := 0; round < 4; round++ {
+			cell.Set(e, e.ID(), int64(round))
+			e.Compute(machine.Time(e.ID()*3 + 1))
+			b.Wait(e)
+			// Everyone finished the round before anyone proceeds.
+			for p := 0; p < 16; p++ {
+				if got := cell.Get(e, p); got < int64(round) {
+					t.Errorf("round %d: P%d saw P%d at %d", round, e.ID(), p, got)
+				}
+			}
+			b.Wait(e)
+		}
+	})
+}
+
+// The tree barrier's critical path is logarithmic, the central barrier's
+// linear: on a large machine the tree must cost less sync wait.
+func TestTreeBarrierScalesBetter(t *testing.T) {
+	sync := func(tree bool) machine.Time {
+		m := machine.MustNew(memsys.KindPRAM, memsys.Default(64))
+		var wait func(e *machine.Env)
+		if tree {
+			b := NewTreeBarrier(m)
+			wait = b.Wait
+		} else {
+			b := NewBarrier(m)
+			wait = b.Wait
+		}
+		res := m.Run("t", func(e *machine.Env) {
+			for i := 0; i < 4; i++ {
+				wait(e)
+			}
+		})
+		return res.ExecTime
+	}
+	central, treeT := sync(false), sync(true)
+	if treeT >= central {
+		t.Fatalf("tree barrier (%d cycles) should beat central (%d) at 64 procs", treeT, central)
+	}
+}
+
+func TestSpinLockUnderMultithreading(t *testing.T) {
+	p := memsys.DefaultMT(8, 2)
+	m := machine.MustNew(memsys.KindRCInv, p)
+	l := NewSpinLock(m, 16)
+	cell := shm.NewI64(m.Heap, 1)
+	m.Run("t", func(e *machine.Env) {
+		l.Acquire(e)
+		cell.Add(e, 0, 1)
+		l.Release(e)
+	})
+	if got := int64(m.PeekU64(cell.At(0))); got != 8 {
+		t.Fatalf("counter = %d, want 8", got)
+	}
+}

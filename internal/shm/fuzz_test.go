@@ -1,0 +1,27 @@
+package shm
+
+import "testing"
+
+// FuzzHeapAlloc: arbitrary allocation sequences never overlap and stay
+// aligned.
+func FuzzHeapAlloc(f *testing.F) {
+	f.Add([]byte{1, 32, 255})
+	f.Fuzz(func(t *testing.T, sizes []byte) {
+		if len(sizes) > 512 {
+			sizes = sizes[:512]
+		}
+		h := NewHeap(32)
+		var prevEnd uint64
+		for _, sz := range sizes {
+			n := int(sz)%300 + 1
+			base := uint64(h.Alloc(n))
+			if base%32 != 0 {
+				t.Fatalf("misaligned allocation at %d", base)
+			}
+			if base < prevEnd {
+				t.Fatalf("overlap: base %d < previous end %d", base, prevEnd)
+			}
+			prevEnd = base + uint64(n)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package shm manages the simulated shared address space: a bump allocator
+// handing out line-aligned regions, and typed array views that applications
+// use to access shared data through the machine layer's trap interface.
+//
+// Only *addresses* live here; the backing values are owned by the machine
+// (internal/machine), which this package reaches through the Accessor
+// interface so that every element access is a simulated shared access.
+package shm
+
+import (
+	"fmt"
+	"math"
+
+	"zsim/internal/memsys"
+)
+
+// WordSize is the granularity of shared values: every element is an 8-byte
+// word (float64 or uint64).
+const WordSize = 8
+
+// Accessor performs simulated shared memory accesses. *machine.Env
+// implements it.
+type Accessor interface {
+	LoadU64(addr memsys.Addr) uint64
+	StoreU64(addr memsys.Addr, v uint64)
+}
+
+// Heap allocates regions of the simulated shared address space. Allocation
+// is deterministic: the same sequence of Alloc calls yields the same
+// addresses.
+type Heap struct {
+	next  memsys.Addr
+	align memsys.Addr
+}
+
+// NewHeap returns a heap whose allocations are aligned to align bytes
+// (typically the coherence line size, so distinct allocations never falsely
+// share a line).
+func NewHeap(align int) *Heap {
+	if align <= 0 || align&(align-1) != 0 {
+		panic("shm: alignment must be a positive power of two")
+	}
+	return &Heap{align: memsys.Addr(align)}
+}
+
+// Alloc reserves size bytes and returns the region's base address.
+func (h *Heap) Alloc(size int) memsys.Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("shm: Alloc(%d)", size))
+	}
+	base := h.next
+	n := memsys.Addr(size)
+	n = (n + h.align - 1) &^ (h.align - 1)
+	h.next += n
+	return base
+}
+
+// AllocWords reserves n 8-byte words.
+func (h *Heap) AllocWords(n int) memsys.Addr { return h.Alloc(n * WordSize) }
+
+// Used returns the number of bytes allocated so far.
+func (h *Heap) Used() memsys.Addr { return h.next }
+
+// Array is a shared array of n 8-byte words at Base.
+type Array struct {
+	Base memsys.Addr
+	N    int
+}
+
+// NewArray allocates an n-word array.
+func NewArray(h *Heap, n int) Array { return Array{Base: h.AllocWords(n), N: n} }
+
+// At returns the address of element i.
+func (a Array) At(i int) memsys.Addr {
+	if i < 0 || i >= a.N {
+		panic(fmt.Sprintf("shm: index %d out of range [0,%d)", i, a.N))
+	}
+	return a.Base + memsys.Addr(i*WordSize)
+}
+
+// Len returns the element count.
+func (a Array) Len() int { return a.N }
+
+// Slice returns the subarray [from, to).
+func (a Array) Slice(from, to int) Array {
+	if from < 0 || to > a.N || from > to {
+		panic(fmt.Sprintf("shm: slice [%d,%d) of array of %d", from, to, a.N))
+	}
+	return Array{Base: a.Base + memsys.Addr(from*WordSize), N: to - from}
+}
+
+// U64 is a shared array of uint64.
+type U64 struct{ Array }
+
+// NewU64 allocates a shared uint64 array.
+func NewU64(h *Heap, n int) U64 { return U64{NewArray(h, n)} }
+
+// Get reads element i through m.
+func (a U64) Get(m Accessor, i int) uint64 { return m.LoadU64(a.At(i)) }
+
+// Set writes element i through m.
+func (a U64) Set(m Accessor, i int, v uint64) { m.StoreU64(a.At(i), v) }
+
+// F64 is a shared array of float64.
+type F64 struct{ Array }
+
+// NewF64 allocates a shared float64 array.
+func NewF64(h *Heap, n int) F64 { return F64{NewArray(h, n)} }
+
+// Get reads element i through m.
+func (a F64) Get(m Accessor, i int) float64 { return math.Float64frombits(m.LoadU64(a.At(i))) }
+
+// Set writes element i through m.
+func (a F64) Set(m Accessor, i int, v float64) { m.StoreU64(a.At(i), math.Float64bits(v)) }
+
+// I64 is a shared array of int64 (stored two's-complement in the word).
+type I64 struct{ Array }
+
+// NewI64 allocates a shared int64 array.
+func NewI64(h *Heap, n int) I64 { return I64{NewArray(h, n)} }
+
+// Get reads element i through m.
+func (a I64) Get(m Accessor, i int) int64 { return int64(m.LoadU64(a.At(i))) }
+
+// Set writes element i through m.
+func (a I64) Set(m Accessor, i int, v int64) { m.StoreU64(a.At(i), uint64(v)) }
+
+// Add adds d to element i and returns the new value (a read-modify-write:
+// two simulated accesses; callers must hold a lock for atomicity).
+func (a I64) Add(m Accessor, i int, d int64) int64 {
+	v := a.Get(m, i) + d
+	a.Set(m, i, v)
+	return v
+}

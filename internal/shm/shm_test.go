@@ -1,0 +1,174 @@
+package shm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zsim/internal/memsys"
+)
+
+// fakeAcc is an in-memory Accessor for testing views without a machine.
+type fakeAcc map[memsys.Addr]uint64
+
+func (f fakeAcc) LoadU64(a memsys.Addr) uint64     { return f[a] }
+func (f fakeAcc) StoreU64(a memsys.Addr, v uint64) { f[a] = v }
+
+func TestHeapAlignment(t *testing.T) {
+	h := NewHeap(32)
+	a := h.Alloc(1)
+	b := h.Alloc(40)
+	c := h.Alloc(8)
+	if a%32 != 0 || b%32 != 0 || c%32 != 0 {
+		t.Fatalf("allocations not aligned: %d %d %d", a, b, c)
+	}
+	if b-a < 1 || c-b < 40 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestHeapDeterministic(t *testing.T) {
+	h1, h2 := NewHeap(32), NewHeap(32)
+	for i := 1; i <= 20; i++ {
+		if h1.Alloc(i*8) != h2.Alloc(i*8) {
+			t.Fatal("allocation sequence not deterministic")
+		}
+	}
+}
+
+// Property: allocations never overlap.
+func TestHeapNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		h := NewHeap(32)
+		type region struct{ base, end memsys.Addr }
+		var regions []region
+		for _, s := range sizes {
+			size := int(s)%256 + 1
+			base := h.Alloc(size)
+			for _, r := range regions {
+				if base < r.end && base+memsys.Addr(size) > r.base {
+					return false
+				}
+			}
+			regions = append(regions, region{base, base + memsys.Addr(size)})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHeap(0) },
+		func() { NewHeap(12) },
+		func() { NewHeap(32).Alloc(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArrayAt(t *testing.T) {
+	h := NewHeap(32)
+	a := NewArray(h, 4)
+	if a.At(0) != a.Base || a.At(3) != a.Base+24 {
+		t.Fatal("element addressing wrong")
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	h := NewHeap(32)
+	a := NewArray(h, 4)
+	for _, i := range []int{-1, 4, 100} {
+		func(i int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic", i)
+				}
+			}()
+			a.At(i)
+		}(i)
+	}
+}
+
+func TestArraySlice(t *testing.T) {
+	h := NewHeap(32)
+	a := NewArray(h, 10)
+	s := a.Slice(2, 6)
+	if s.Len() != 4 || s.At(0) != a.At(2) || s.At(3) != a.At(5) {
+		t.Fatal("slice addressing wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad slice should panic")
+			}
+		}()
+		a.Slice(6, 2)
+	}()
+}
+
+func TestTypedViews(t *testing.T) {
+	h := NewHeap(32)
+	m := fakeAcc{}
+	u := NewU64(h, 3)
+	f := NewF64(h, 3)
+	i := NewI64(h, 3)
+
+	u.Set(m, 1, 0xdeadbeef)
+	if u.Get(m, 1) != 0xdeadbeef {
+		t.Fatal("u64 roundtrip failed")
+	}
+	f.Set(m, 2, 3.25)
+	if f.Get(m, 2) != 3.25 {
+		t.Fatal("f64 roundtrip failed")
+	}
+	f.Set(m, 0, math.Inf(-1))
+	if !math.IsInf(f.Get(m, 0), -1) {
+		t.Fatal("f64 -Inf roundtrip failed")
+	}
+	i.Set(m, 0, -42)
+	if i.Get(m, 0) != -42 {
+		t.Fatal("i64 negative roundtrip failed")
+	}
+	if got := i.Add(m, 0, 10); got != -32 || i.Get(m, 0) != -32 {
+		t.Fatalf("Add returned %d", got)
+	}
+}
+
+// Property: F64 Get∘Set is the identity for finite values.
+func TestF64RoundtripProperty(t *testing.T) {
+	h := NewHeap(32)
+	a := NewF64(h, 1)
+	m := fakeAcc{}
+	f := func(v float64) bool {
+		a.Set(m, 0, v)
+		got := a.Get(m, 0)
+		return got == v || (math.IsNaN(v) && math.IsNaN(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsedGrows(t *testing.T) {
+	h := NewHeap(32)
+	if h.Used() != 0 {
+		t.Fatal("fresh heap should be empty")
+	}
+	h.Alloc(100)
+	if h.Used() < 100 {
+		t.Fatal("Used must cover allocations")
+	}
+}

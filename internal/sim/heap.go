@@ -1,0 +1,59 @@
+package sim
+
+// procHeap is a binary min-heap of processors ordered by (clock, id). It is
+// hand-rolled rather than using container/heap to avoid interface boxing on
+// the simulator's hottest path.
+type procHeap []*Proc
+
+func procLess(a, b *Proc) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (h *procHeap) push(p *Proc) {
+	*h = append(*h, p)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *procHeap) pop() (*Proc, bool) {
+	old := *h
+	n := len(old)
+	if n == 0 {
+		return nil, false
+	}
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	h.siftDown(0)
+	return top, true
+}
+
+func (h *procHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && procLess((*h)[l], (*h)[small]) {
+			small = l
+		}
+		if r < n && procLess((*h)[r], (*h)[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+}

@@ -1,0 +1,211 @@
+// Package sim implements the execution-driven simulation kernel used by the
+// z-machine reproduction. It plays the role of the SPASM framework from the
+// paper: simulated processors run real Go code and trap into the simulator on
+// every globally visible operation (shared memory access, synchronization).
+//
+// Each simulated processor is a goroutine coupled to the engine through
+// channels so that exactly one goroutine runs at any instant. Every processor
+// carries a local virtual clock; pure computation advances the clock without
+// involving the scheduler, while globally visible operations first call Sync,
+// which hands control back to the engine. The engine always resumes the
+// runnable processor with the smallest clock (ties broken by processor id),
+// so globally visible operations execute in nondecreasing virtual-time order
+// and a simulation is deterministic and reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in CPU cycles.
+type Time uint64
+
+// Proc is a simulated processor. All methods must be called from the
+// processor's own body function, except Unblock which is called by whichever
+// processor performs the releasing action.
+type Proc struct {
+	id      int
+	clock   Time
+	eng     *Engine
+	resume  chan struct{}
+	blocked bool
+	done    bool
+	// blockReason is a human-readable label for deadlock reports.
+	blockReason string
+}
+
+// ID returns the processor number in [0, NumProcs).
+func (p *Proc) ID() int { return p.id }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Advance moves the processor's local clock forward by c cycles of pure
+// computation. It does not involve the scheduler: computation is only
+// locally visible.
+func (p *Proc) Advance(c Time) { p.clock += c }
+
+// AdvanceTo moves the clock forward to t if t is in the future.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+type yieldKind int
+
+const (
+	yieldRunnable yieldKind = iota // back on the run queue
+	yieldBlocked                   // waiting for an Unblock
+	yieldDone                      // body returned
+)
+
+type yieldMsg struct {
+	p    *Proc
+	kind yieldKind
+}
+
+// Sync yields to the engine and returns when this processor is again the
+// runnable processor with the smallest virtual clock. A processor must call
+// Sync immediately before every globally visible operation; between Sync
+// returning and the next yield no other processor runs, so the operation is
+// atomic at the processor's current clock.
+func (p *Proc) Sync() {
+	p.eng.yield <- yieldMsg{p, yieldRunnable}
+	<-p.resume
+}
+
+// Block parks the processor until another processor calls Unblock on it.
+// reason is reported if the simulation deadlocks.
+func (p *Proc) Block(reason string) {
+	p.blocked = true
+	p.blockReason = reason
+	p.eng.yield <- yieldMsg{p, yieldBlocked}
+	<-p.resume
+}
+
+// Unblock makes p runnable again, with its clock advanced to at least t
+// (the virtual time of the releasing action). It must be called from the
+// currently running processor's body (or from engine hooks); the engine is
+// single-threaded so no locking is required.
+func (p *Proc) Unblock(t Time) {
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: Unblock of runnable processor %d", p.id))
+	}
+	p.blocked = false
+	p.blockReason = ""
+	p.AdvanceTo(t)
+	p.eng.push(p)
+}
+
+// Blocked reports whether the processor is currently parked.
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Engine schedules a fixed set of simulated processors.
+type Engine struct {
+	procs []*Proc
+	runq  procHeap
+	yield chan yieldMsg
+
+	// Instrumentation.
+	switches uint64 // processor resumptions (scheduling events)
+	blocks   uint64 // Block calls observed
+}
+
+// NewEngine creates an engine with n processors, all with clock zero.
+func NewEngine(n int) *Engine {
+	if n <= 0 {
+		panic("sim: engine needs at least one processor")
+	}
+	e := &Engine{yield: make(chan yieldMsg)}
+	for i := 0; i < n; i++ {
+		e.procs = append(e.procs, &Proc{id: i, eng: e, resume: make(chan struct{})})
+	}
+	return e
+}
+
+// NumProcs returns the number of processors.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns processor i.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+func (e *Engine) push(p *Proc) { e.runq.push(p) }
+
+// Run executes body on every processor (as goroutines multiplexed onto this
+// OS thread's attention one at a time) and returns the maximum finishing
+// clock, i.e. the parallel execution time. Run panics with a state dump if
+// the simulation deadlocks (all unfinished processors blocked).
+func (e *Engine) Run(body func(p *Proc)) Time {
+	for _, p := range e.procs {
+		p.clock = 0
+		p.blocked = false
+		p.done = false
+	}
+	e.runq = e.runq[:0]
+	for _, p := range e.procs {
+		p := p
+		e.push(p)
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			e.yield <- yieldMsg{p, yieldDone}
+		}()
+	}
+	remaining := len(e.procs)
+	var finish Time
+	for remaining > 0 {
+		p, ok := e.runq.pop()
+		if !ok {
+			panic("sim: deadlock\n" + e.stateDump())
+		}
+		e.switches++
+		p.resume <- struct{}{}
+		m := <-e.yield
+		switch m.kind {
+		case yieldRunnable:
+			e.push(m.p)
+		case yieldBlocked:
+			e.blocks++
+			// Parked; an Unblock will re-queue it.
+		case yieldDone:
+			remaining--
+			if m.p.clock > finish {
+				finish = m.p.clock
+			}
+		}
+	}
+	return finish
+}
+
+// Switches returns the number of scheduling events (processor
+// resumptions) so far — a measure of how fine-grained the simulation's
+// global operations are.
+func (e *Engine) Switches() uint64 { return e.switches }
+
+// Blocks returns the number of Block (park) events so far.
+func (e *Engine) Blocks() uint64 { return e.blocks }
+
+func (e *Engine) stateDump() string {
+	var b strings.Builder
+	ids := make([]int, len(e.procs))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		p := e.procs[i]
+		switch {
+		case p.done:
+			fmt.Fprintf(&b, "  P%-2d done     clock=%d\n", p.id, p.clock)
+		case p.blocked:
+			fmt.Fprintf(&b, "  P%-2d blocked  clock=%d reason=%q\n", p.id, p.clock, p.blockReason)
+		default:
+			fmt.Fprintf(&b, "  P%-2d runnable clock=%d\n", p.id, p.clock)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcFinish(t *testing.T) {
+	e := NewEngine(1)
+	finish := e.Run(func(p *Proc) {
+		p.Advance(100)
+	})
+	if finish != 100 {
+		t.Fatalf("finish = %d, want 100", finish)
+	}
+}
+
+func TestFinishIsMaxClock(t *testing.T) {
+	e := NewEngine(4)
+	finish := e.Run(func(p *Proc) {
+		p.Advance(Time(10 * (p.ID() + 1)))
+	})
+	if finish != 40 {
+		t.Fatalf("finish = %d, want 40", finish)
+	}
+}
+
+// TestGlobalTimeOrder checks the core scheduling invariant: operations
+// performed after Sync() occur in nondecreasing virtual time across all
+// processors.
+func TestGlobalTimeOrder(t *testing.T) {
+	e := NewEngine(8)
+	var last Time
+	var order []int
+	rng := rand.New(rand.NewSource(7))
+	steps := make([][]Time, 8)
+	for i := range steps {
+		for j := 0; j < 50; j++ {
+			steps[i] = append(steps[i], Time(rng.Intn(100)))
+		}
+	}
+	e.Run(func(p *Proc) {
+		for _, s := range steps[p.ID()] {
+			p.Advance(s)
+			p.Sync()
+			if p.Clock() < last {
+				t.Errorf("time went backwards: %d after %d", p.Clock(), last)
+			}
+			last = p.Clock()
+			order = append(order, p.ID())
+		}
+	})
+	if len(order) != 8*50 {
+		t.Fatalf("saw %d ops, want %d", len(order), 8*50)
+	}
+}
+
+// TestDeterminism runs an identical mixed workload twice and requires the
+// same interleaving.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		var log []string
+		e := NewEngine(6)
+		e.Run(func(p *Proc) {
+			r := rand.New(rand.NewSource(int64(p.ID())))
+			for i := 0; i < 30; i++ {
+				p.Advance(Time(r.Intn(17)))
+				p.Sync()
+				log = append(log, fmt.Sprintf("p%d@%d", p.ID(), p.Clock()))
+			}
+		})
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	e := NewEngine(4)
+	var order []int
+	e.Run(func(p *Proc) {
+		p.Sync() // all at clock 0
+		order = append(order, p.ID())
+	})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order = %v, want ids ascending", order)
+		}
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	e := NewEngine(2)
+	finish := e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Advance(5)
+			p.Sync()
+			p.Block("wait for P1")
+			// P1 unblocked us at time 50.
+			if p.Clock() != 50 {
+				t.Errorf("P0 clock after unblock = %d, want 50", p.Clock())
+			}
+		} else {
+			p.Advance(50)
+			p.Sync()
+			other := e.Proc(0)
+			if !other.Blocked() {
+				t.Errorf("P0 should be blocked at virtual time 50")
+			}
+			other.Unblock(p.Clock())
+		}
+	})
+	if finish != 50 {
+		t.Fatalf("finish = %d, want 50", finish)
+	}
+}
+
+func TestUnblockDoesNotRewindClock(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Advance(100)
+			p.Sync()
+			p.Block("wait")
+			if p.Clock() != 100 {
+				t.Errorf("clock rewound to %d", p.Clock())
+			}
+		} else {
+			p.Advance(200)
+			p.Sync()
+			e.Proc(0).Unblock(10) // earlier than P0's clock
+		}
+	})
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		p.Block("forever")
+	})
+}
+
+func TestUnblockRunnablePanics(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic unblocking runnable proc")
+				}
+			}()
+			e.Proc(0).Unblock(0)
+		}
+		p.Advance(1)
+	})
+}
+
+func TestRunTwiceResetsState(t *testing.T) {
+	e := NewEngine(3)
+	f1 := e.Run(func(p *Proc) { p.Advance(10) })
+	f2 := e.Run(func(p *Proc) { p.Advance(20) })
+	if f1 != 10 || f2 != 20 {
+		t.Fatalf("f1=%d f2=%d, want 10, 20", f1, f2)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(func(p *Proc) {
+		p.AdvanceTo(42)
+		if p.Clock() != 42 {
+			t.Errorf("clock = %d, want 42", p.Clock())
+		}
+		p.AdvanceTo(10) // no rewind
+		if p.Clock() != 42 {
+			t.Errorf("clock rewound to %d", p.Clock())
+		}
+	})
+}
+
+// TestOneRunnerAtATime verifies mutual exclusion between processor bodies:
+// shared state mutated without locks must never race. Run under -race this
+// is a strong check of the engine's handshake.
+func TestOneRunnerAtATime(t *testing.T) {
+	e := NewEngine(8)
+	var inside int32
+	e.Run(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			if atomic.AddInt32(&inside, 1) != 1 {
+				t.Error("two processors running concurrently")
+			}
+			p.Advance(1)
+			atomic.AddInt32(&inside, -1)
+			p.Sync()
+		}
+	})
+}
+
+// Property: the heap pops processors in (clock, id) order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(clocks []uint16) bool {
+		if len(clocks) == 0 {
+			return true
+		}
+		var h procHeap
+		for i, c := range clocks {
+			h.push(&Proc{id: i, clock: Time(c)})
+		}
+		prev, ok := h.pop()
+		if !ok {
+			return false
+		}
+		for {
+			next, ok := h.pop()
+			if !ok {
+				break
+			}
+			if procLess(next, prev) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPopEmpty(t *testing.T) {
+	var h procHeap
+	if _, ok := h.pop(); ok {
+		t.Fatal("pop of empty heap returned ok")
+	}
+}
+
+func BenchmarkSyncRoundtrip(b *testing.B) {
+	e := NewEngine(2)
+	b.ResetTimer()
+	e.Run(func(p *Proc) {
+		for i := 0; i < b.N/2+1; i++ {
+			p.Advance(1)
+			p.Sync()
+		}
+	})
+}
+
+func TestInstrumentationCounts(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Sync()
+			p.Block("wait")
+		} else {
+			p.Advance(10)
+			p.Sync()
+			e.Proc(0).Unblock(p.Clock())
+		}
+	})
+	if e.Switches() == 0 {
+		t.Fatal("no scheduling events counted")
+	}
+	if e.Blocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", e.Blocks())
+	}
+}

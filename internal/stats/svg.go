@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the figure as a stacked-bar chart in the style of the paper's
+// Figures 2–5: one bar per memory system, height proportional to execution
+// time, with the three overhead classes stacked on top of the base
+// (compute + synchronization) portion and the overhead percentage printed
+// above each bar. The output is a standalone SVG document.
+func (f *Figure) SVG() string {
+	const (
+		width   = 720
+		height  = 420
+		marginL = 70
+		marginR = 20
+		marginT = 50
+		marginB = 60
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	var maxExec Time
+	for _, r := range f.Results {
+		if r.ExecTime > maxExec {
+			maxExec = r.ExecTime
+		}
+	}
+	if maxExec == 0 || len(f.Results) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`+"\n", marginL, escapeXML(f.Title))
+
+	// Y axis with 5 gridlines labelled in cycles.
+	for i := 0; i <= 5; i++ {
+		y := marginT + plotH - i*plotH/5
+		v := uint64(maxExec) * uint64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%d</text>`+"\n", marginL-6, y+4, v)
+	}
+
+	n := len(f.Results)
+	slot := plotW / n
+	barW := slot * 6 / 10
+	for i, r := range f.Results {
+		x := marginL + i*slot + (slot-barW)/2
+		total := float64(r.ExecTime)
+		hAll := int(float64(plotH) * total / float64(maxExec))
+		read, write, flush := r.PerProcOverhead()
+		hRead := int(float64(plotH) * read / float64(maxExec))
+		hWrite := int(float64(plotH) * write / float64(maxExec))
+		hFlush := int(float64(plotH) * flush / float64(maxExec))
+		hBase := hAll - hRead - hWrite - hFlush
+		if hBase < 0 {
+			hBase = 0
+		}
+		y := marginT + plotH
+		seg := func(h int, color string) {
+			if h <= 0 {
+				return
+			}
+			y -= h
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n", x, y, barW, h, color)
+		}
+		seg(hBase, "#b8c4d0")  // compute + sync
+		seg(hRead, "#d62728")  // read stall
+		seg(hWrite, "#ff9900") // write stall
+		seg(hFlush, "#1f77b4") // buffer flush
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%.2f%%</text>`+"\n",
+			x+barW/2, y-6, r.OverheadPct())
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginT+plotH+18, escapeXML(string(r.System)))
+	}
+
+	// Legend.
+	legend := []struct{ label, color string }{
+		{"compute+sync", "#b8c4d0"},
+		{"read stall", "#d62728"},
+		{"write stall", "#ff9900"},
+		{"buffer flush", "#1f77b4"},
+	}
+	lx := marginL
+	ly := height - 18
+	for _, item := range legend {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, item.color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", lx+16, ly, item.label)
+		lx += 18 + 8*len(item.label)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

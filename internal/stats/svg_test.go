@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"zsim/internal/memsys"
+)
+
+func TestFigureSVG(t *testing.T) {
+	f := &Figure{
+		Title: "Figure 9: <test> & \"quotes\"",
+		Results: []*Result{
+			{App: "x", System: memsys.KindZMachine, ExecTime: 500, Procs: []Proc{{Compute: 500}}},
+			twoProcResult(),
+		},
+	}
+	svg := f.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "rect", "zmc", "rcinv", "15.00%",
+		"&lt;test&gt; &amp; &quot;quotes&quot;",
+		"read stall", "buffer flush",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<test>") {
+		t.Error("unescaped XML in title")
+	}
+	// Every rect must carry non-negative geometry.
+	if strings.Contains(svg, `height="-`) || strings.Contains(svg, `width="-`) {
+		t.Error("negative geometry in svg")
+	}
+}
+
+func TestFigureSVGEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	if svg := f.SVG(); !strings.Contains(svg, "<svg") {
+		t.Fatal("empty figure should still yield a valid svg document")
+	}
+}
+
+func TestFigureSVGAllStall(t *testing.T) {
+	// Bars that are pure overhead must not overflow the plot.
+	f := &Figure{
+		Title: "stall",
+		Results: []*Result{
+			{System: memsys.KindRCUpd, ExecTime: 100, Procs: []Proc{{ReadStall: 50, WriteStall: 30, BufferFlush: 20}}},
+		},
+	}
+	svg := f.SVG()
+	if !strings.Contains(svg, "rect") {
+		t.Fatal("no bars rendered")
+	}
+}

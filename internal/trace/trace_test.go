@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"zsim/internal/memsys"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	if r.Total() != 0 || r.Events() != nil || r.HotLines(32, 5) != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{At: memsys.Time(i), Proc: i, Kind: Read})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.At != memsys.Time(i) {
+			t.Fatalf("order wrong: %v", evs)
+		}
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingKeepsLast(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: memsys.Time(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	if evs[0].At != 7 || evs[2].At != 9 {
+		t.Fatalf("retained wrong window: %v", evs)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+}
+
+// Property: after any number of records, Events() returns min(n, cap)
+// events whose At fields are the most recent and in order.
+func TestRingOrderProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		r := New(8)
+		for i := 0; i < int(n); i++ {
+			r.Record(Event{At: memsys.Time(i)})
+		}
+		evs := r.Events()
+		want := int(n)
+		if want > 8 {
+			want = 8
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At != evs[i-1].At+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotLines(t *testing.T) {
+	r := New(100)
+	// Line 0: two accesses, stall 100 total. Line 1: one access, stall 5.
+	r.Record(Event{Kind: Read, Addr: 0, Stall: 60})
+	r.Record(Event{Kind: Write, Addr: 8, Stall: 40})
+	r.Record(Event{Kind: Read, Addr: 40, Stall: 5})
+	r.Record(Event{Kind: Release, Stall: 999}) // ignored: not an access
+	hot := r.HotLines(32, 2)
+	if len(hot) != 2 {
+		t.Fatalf("hot = %v", hot)
+	}
+	if hot[0].Line != 0 || hot[0].Stall != 100 || hot[0].Accesses != 2 {
+		t.Fatalf("hottest wrong: %v", hot[0])
+	}
+	if hot[1].Line != 1 || hot[1].Stall != 5 {
+		t.Fatalf("second wrong: %v", hot[1])
+	}
+}
+
+func TestHotLinesTruncates(t *testing.T) {
+	r := New(10)
+	r.Record(Event{Kind: Read, Addr: 0, Stall: 1})
+	if got := r.HotLines(32, 5); len(got) != 1 {
+		t.Fatalf("hot = %v, want single line", got)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := New(10)
+	r.Record(Event{At: 5, Proc: 2, Kind: Write, Addr: 0x40, Stall: 7})
+	r.Record(Event{At: 9, Proc: 1, Kind: Release, Stall: 3})
+	out := r.Dump()
+	if !strings.Contains(out, "P2") || !strings.Contains(out, "W") || !strings.Contains(out, "rel") {
+		t.Fatalf("dump missing fields:\n%s", out)
+	}
+	if Kind(99).String() != "?" {
+		t.Fatal("unknown kind should print ?")
+	}
+	if !strings.Contains((HotLine{Line: 2, Accesses: 3, Stall: 4}).String(), "3 accesses") {
+		t.Fatal("HotLine string wrong")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,170 @@
+package workload
+
+// Randomized metamorphic testing: generate arbitrary *race-free* parallel
+// programs (alternating write-own-region and read-anywhere phases separated
+// by barriers) and require that
+//   (a) every memory system computes identical final memory, and
+//   (b) no real system beats the z-machine's execution time.
+// This probes protocol state machines with access patterns no hand-written
+// application exercises.
+
+import (
+	"math/rand"
+	"testing"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// randProg is a generated program: per processor, per phase, a list of
+// operations. Even phases write only the processor's own region; odd
+// phases read anywhere. Barriers separate phases.
+type randProg struct {
+	seed   int64
+	procs  int
+	region int // words per processor region
+	phases int
+	ops    int
+
+	data shm.U64
+	acc  shm.U64 // per-proc accumulator cells (written by owner only)
+	bar  *psync.Barrier
+}
+
+func newRandProg(seed int64) *randProg {
+	return &randProg{seed: seed, procs: 8, region: 16, phases: 6, ops: 40}
+}
+
+func (r *randProg) Name() string { return "randprog" }
+
+func (r *randProg) Setup(m *machine.Machine) {
+	r.data = shm.NewU64(m.Heap, r.procs*r.region)
+	r.acc = shm.NewU64(m.Heap, r.procs)
+	r.bar = psync.NewBarrier(m)
+	rng := rand.New(rand.NewSource(r.seed))
+	for i := 0; i < r.data.Len(); i++ {
+		m.PokeU64(r.data.At(i), uint64(rng.Int63()))
+	}
+}
+
+func (r *randProg) Body(e *machine.Env) {
+	// Per-processor deterministic op stream (independent of scheduling).
+	rng := rand.New(rand.NewSource(r.seed*1000 + int64(e.ID())))
+	var acc uint64
+	for phase := 0; phase < r.phases; phase++ {
+		if phase%2 == 0 {
+			// Write phase: mutate only this processor's region.
+			base := e.ID() * r.region
+			for i := 0; i < r.ops; i++ {
+				idx := base + rng.Intn(r.region)
+				v := r.data.Get(e, idx)
+				r.data.Set(e, idx, v*2862933555777941757+3037000493+acc)
+				e.Compute(machine.Time(rng.Intn(20)))
+			}
+		} else {
+			// Read phase: read anywhere (no writes to data).
+			for i := 0; i < r.ops; i++ {
+				idx := rng.Intn(r.data.Len())
+				acc += r.data.Get(e, idx)
+				e.Compute(machine.Time(rng.Intn(20)))
+			}
+		}
+		r.bar.Wait(e)
+	}
+	r.acc.Set(e, e.ID(), acc)
+}
+
+func (r *randProg) Verify(*machine.Machine) error { return nil }
+
+// snapshot captures the final shared memory.
+func (r *randProg) snapshot(m *machine.Machine) []uint64 {
+	out := make([]uint64, r.data.Len()+r.procs)
+	for i := 0; i < r.data.Len(); i++ {
+		out[i] = m.PeekU64(r.data.At(i))
+	}
+	for p := 0; p < r.procs; p++ {
+		out[r.data.Len()+p] = m.PeekU64(r.acc.At(p))
+	}
+	return out
+}
+
+func TestRandomProgramsEquivalentAcrossSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random program matrix in -short mode")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		var want []uint64
+		var zExec memsys.Time
+		for _, kind := range memsys.Kinds() {
+			prog := newRandProg(seed)
+			m := machine.MustNew(kind, memsys.Default(prog.procs))
+			res, err := apps.Run(prog, m)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, kind, err)
+			}
+			got := prog.snapshot(m)
+			if kind == memsys.KindZMachine {
+				zExec = res.ExecTime
+			} else if kind != memsys.KindPRAM && res.ExecTime < zExec {
+				t.Errorf("seed %d: %s exec %d beats zmc %d", seed, kind, res.ExecTime, zExec)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d on %s: word %d = %d, reference %d (value corruption)",
+						seed, kind, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The same generated programs must be correct under multithreading and on
+// every topology: the sharing machinery changes, the values must not.
+func TestRandomProgramsUnderVariantMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant matrix in -short mode")
+	}
+	configs := []memsys.Params{
+		memsys.DefaultMT(8, 2),
+		func() memsys.Params {
+			p := memsys.Default(8)
+			p.Topology = "bus"
+			return p
+		}(),
+		func() memsys.Params {
+			p := memsys.Default(8)
+			p.FiniteCache = true
+			p.CacheLines = 8
+			p.CacheAssoc = 2
+			return p
+		}(),
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := newRandProg(seed)
+		mref := machine.MustNew(memsys.KindPRAM, memsys.Default(ref.procs))
+		if _, err := apps.Run(ref, mref); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.snapshot(mref)
+		for ci, p := range configs {
+			prog := newRandProg(seed)
+			m := machine.MustNew(memsys.KindRCUpd, p)
+			if _, err := apps.Run(prog, m); err != nil {
+				t.Fatalf("seed %d config %d: %v", seed, ci, err)
+			}
+			got := prog.snapshot(m)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d config %d: word %d differs", seed, ci, i)
+				}
+			}
+		}
+	}
+}

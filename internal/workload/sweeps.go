@@ -1,0 +1,406 @@
+package workload
+
+import (
+	"fmt"
+
+	"zsim/internal/apps"
+	"zsim/internal/apps/cholesky"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/stats"
+)
+
+// Time aliases virtual time.
+type Time = memsys.Time
+
+// The sweeps below regenerate the paper's §6 architectural-implications
+// analysis and §7 open issues as concrete ablation experiments.
+
+// StoreBufferSweep varies the store buffer depth (§6: "write stall time is
+// dependent on two parameters: the store buffer size and the relative speed
+// of the network").
+func StoreBufferSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, sizes []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Store buffer sweep: %s on %s", app, kind),
+		Head:  []string{"entries", "exec-cycles", "write-stall", "buf-flush", "overhead%"},
+	}
+	for _, n := range sizes {
+		p := base
+		p.StoreBufEntries = n
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalWriteStall()),
+			fmt.Sprintf("%d", r.TotalBufferFlush()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// NetworkSweep varies the link bandwidth (§6: improving the network speed
+// relative to the processor lowers write stall).
+func NetworkSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, cyclesPerByte []float64) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Network speed sweep: %s on %s", app, kind),
+		Head:  []string{"cyc/byte", "exec-cycles", "read-stall", "write-stall", "buf-flush", "overhead%"},
+	}
+	for _, c := range cyclesPerByte {
+		p := base
+		p.LinkCyclesPerByte = c
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%.2f", c),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%d", r.TotalWriteStall()),
+			fmt.Sprintf("%d", r.TotalBufferFlush()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// ThresholdSweep varies RCcomp's competitive self-invalidation threshold.
+func ThresholdSweep(app string, scale Scale, base memsys.Params, thresholds []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Competitive threshold sweep: %s on rccomp", app),
+		Head:  []string{"threshold", "exec-cycles", "read-stall", "write-stall", "buf-flush", "self-inval", "overhead%"},
+	}
+	for _, th := range thresholds {
+		p := base
+		p.CompThreshold = th
+		r, err := Run(app, scale, memsys.KindRCComp, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", th),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%d", r.TotalWriteStall()),
+			fmt.Sprintf("%d", r.TotalBufferFlush()),
+			fmt.Sprintf("%d", r.Counters.SelfInvalidations),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// FiniteCacheSweep explores the §7 open issue: the overhead added by finite
+// caches (capacity and conflict misses) versus the paper's infinite-cache
+// assumption.
+func FiniteCacheSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, lines []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Finite cache sweep: %s on %s (4-way LRU)", app, kind),
+		Head:  []string{"cache-lines", "exec-cycles", "read-miss", "cold-miss", "read-stall", "overhead%"},
+	}
+	run := func(label string, p memsys.Params) error {
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return err
+		}
+		t.Add(label,
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.Counters.ReadMisses),
+			fmt.Sprintf("%d", r.Counters.ColdMisses),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+		return nil
+	}
+	if err := run("inf", base); err != nil {
+		return nil, err
+	}
+	for _, n := range lines {
+		p := base
+		p.FiniteCache = true
+		p.CacheLines = n
+		p.CacheAssoc = 4
+		if err := run(fmt.Sprintf("%d", n), p); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// PrefetchSweep explores the §6 suggestion that cold-miss-dominated
+// applications (Cholesky) benefit from prefetching.
+func PrefetchSweep(app string, scale Scale, base memsys.Params, degrees []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Sequential prefetch sweep: %s on rcinv", app),
+		Head:  []string{"degree", "exec-cycles", "read-stall", "prefetches", "overhead%"},
+	}
+	for _, d := range degrees {
+		p := base
+		p.PrefetchDegree = d
+		r, err := Run(app, scale, memsys.KindRCInv, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%d", r.Counters.Prefetches),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// SCvsRC contrasts the sequentially consistent baseline (what most studies
+// benchmark against) with release consistency, per application.
+func SCvsRC(scale Scale, p memsys.Params) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "SCinv vs RCinv (write stall bought back by release consistency)",
+		Head:  []string{"app", "sc-exec", "rc-exec", "sc-write-stall", "rc-write-stall", "speedup"},
+	}
+	for _, name := range AppNames() {
+		sc, err := Run(name, scale, memsys.KindSCInv, p)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := Run(name, scale, memsys.KindRCInv, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name,
+			fmt.Sprintf("%d", sc.ExecTime),
+			fmt.Sprintf("%d", rc.ExecTime),
+			fmt.Sprintf("%d", sc.TotalWriteStall()),
+			fmt.Sprintf("%d", rc.TotalWriteStall()),
+			fmt.Sprintf("%.3f", float64(sc.ExecTime)/float64(rc.ExecTime)))
+	}
+	return t, nil
+}
+
+// MultithreadSweep explores the §7 open issue of multithreading as a
+// latency-tolerance mechanism: the machine keeps a fixed set of NUMA nodes
+// while each node runs 1, 2, 4, ... hardware threads, so the same total
+// work (strong scaling) is attacked by more execution streams whose memory
+// stalls overlap each other's computation.
+func MultithreadSweep(app string, scale Scale, kind memsys.Kind, nodes int, threads []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Multithreading sweep: %s on %s, %d nodes", app, kind, nodes),
+		Head:  []string{"threads/node", "streams", "exec-cycles", "read-stall", "core-wait", "overhead%"},
+	}
+	for _, th := range threads {
+		p := memsys.DefaultMT(nodes*th, th)
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", th),
+			fmt.Sprintf("%d", nodes*th),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%d", r.TotalCoreWait()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// ScalabilitySweep runs an application across machine sizes on one memory
+// system, reporting execution time and speedup over the single-processor
+// run. The paper's framework descends from the authors' scalability studies
+// (SIGMETRICS'94 / JPDC'94); this sweep recreates that view.
+func ScalabilitySweep(app string, scale Scale, kind memsys.Kind, procs []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Scalability: %s on %s", app, kind),
+		Head:  []string{"procs", "exec-cycles", "speedup", "overhead%", "sync-wait"},
+	}
+	var base Time
+	for _, n := range procs {
+		p := memsys.Default(n)
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.ExecTime
+		}
+		t.Add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%.2f", float64(base)/float64(r.ExecTime)),
+			fmt.Sprintf("%.2f", r.OverheadPct()),
+			fmt.Sprintf("%d", r.TotalSyncWait()))
+	}
+	return t, nil
+}
+
+// TopologySweep runs an application on one memory system across
+// interconnect topologies (SPASM "provides a choice of network topologies";
+// the paper's evaluation uses the mesh). The z-machine column shows how the
+// topology moves the inherent-communication bound itself.
+func TopologySweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, topologies []string) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Topology sweep: %s on %s", app, kind),
+		Head:  []string{"topology", "exec-cycles", "read-stall", "net-queueing-visible", "overhead%"},
+	}
+	for _, topo := range topologies {
+		p := base
+		p.Topology = topo
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(topo,
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%d", r.TotalWriteStall()+r.TotalBufferFlush()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// RCSyncComparison regenerates the §6 proposal experiment (E15): RCinv
+// versus RCsync — identical hardware, but synchronization carries the
+// data-flow guarantee so releases never stall. The paper predicts the
+// buffer-flush component vanishes.
+func RCSyncComparison(scale Scale, p memsys.Params) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "RCinv vs RCsync (paper §6: decouple data flow from synchronization)",
+		Head:  []string{"app", "rcinv-exec", "rcsync-exec", "rcinv-flush", "rcsync-flush", "speedup"},
+	}
+	for _, name := range AppNames() {
+		inv, err := Run(name, scale, memsys.KindRCInv, p)
+		if err != nil {
+			return nil, err
+		}
+		sy, err := Run(name, scale, memsys.KindRCSync, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name,
+			fmt.Sprintf("%d", inv.ExecTime),
+			fmt.Sprintf("%d", sy.ExecTime),
+			fmt.Sprintf("%d", inv.TotalBufferFlush()),
+			fmt.Sprintf("%d", sy.TotalBufferFlush()),
+			fmt.Sprintf("%.3f", float64(inv.ExecTime)/float64(sy.ExecTime)))
+	}
+	return t, nil
+}
+
+// OrderingSweep contrasts Cholesky elimination orderings: the natural
+// (band) ordering versus nested dissection. The ordering reshapes the
+// whole system: fill, supernode structure, task parallelism, and hence the
+// communication the memory systems must carry.
+func OrderingSweep(scale Scale, kind memsys.Kind, p memsys.Params) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Elimination ordering sweep: cholesky on %s", kind),
+		Head:  []string{"ordering", "nnz(L)", "supernodes", "exec-cycles", "read-stall", "overhead%"},
+	}
+	grid := cholesky.Small().Grid
+	if scale == ScalePaper {
+		grid = cholesky.Paper().Grid
+	}
+	for _, ord := range []string{"natural", "nd"} {
+		app := cholesky.New(cholesky.Config{Grid: grid, Ordering: ord})
+		m, err := machine.New(kind, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := apps.Run(app, m)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cholesky/%s on %s: %w", ord, kind, err)
+		}
+		t.Add(ord,
+			fmt.Sprintf("%d", app.Sym().NNZ()),
+			fmt.Sprintf("%d", app.Sym().NS()),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// DirPointerSweep varies the directory's sharer-pointer budget (Dir-i
+// versus the paper's full-map assumption) — extension E18. Widely shared
+// data (Barnes-Hut's tree and bodies) suffers pointer thrashing when the
+// budget is small.
+func DirPointerSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, pointers []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Directory pointer sweep: %s on %s", app, kind),
+		Head:  []string{"pointers", "exec-cycles", "read-miss", "ptr-evictions", "overhead%"},
+	}
+	run := func(label string, p memsys.Params) error {
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return err
+		}
+		t.Add(label,
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.Counters.ReadMisses),
+			fmt.Sprintf("%d", r.Counters.PointerEvictions),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+		return nil
+	}
+	if err := run("full-map", base); err != nil {
+		return nil, err
+	}
+	for _, n := range pointers {
+		p := base
+		p.DirPointers = n
+		if err := run(fmt.Sprintf("%d", n), p); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LineSizeSweep varies the coherence unit of the real memory systems. The
+// z-machine fixes its unit at one word precisely so that "the only
+// communication that occurs is due to true sharing" (paper §3); sweeping
+// the real systems' line size exposes the false-sharing cost of bigger
+// lines against their spatial-locality benefit.
+func LineSizeSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params, sizes []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Line size sweep: %s on %s", app, kind),
+		Head:  []string{"line-bytes", "exec-cycles", "read-miss", "invalidations", "overhead%"},
+	}
+	for _, ls := range sizes {
+		p := base
+		p.LineSize = ls
+		r, err := Run(app, scale, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", ls),
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.Counters.ReadMisses),
+			fmt.Sprintf("%d", r.Counters.Invalidations),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
+	}
+	return t, nil
+}
+
+// OracleSweep contrasts the z-machine's two oracle models: the paper's §3
+// simulation (broadcast + per-block counter, worst-case propagation) and
+// its §2.2 definition (the producer ships to each consumer, per-consumer
+// latency). The perfect oracle is the tighter lower bound; the gap shows
+// how much the broadcast approximation costs.
+func OracleSweep(scale Scale, p memsys.Params) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "z-machine oracle: broadcast counter (§3) vs perfect per-consumer (§2.2)",
+		Head:  []string{"app", "broadcast-stall", "perfect-stall", "broadcast-exec", "perfect-exec"},
+	}
+	for _, name := range AppNames() {
+		pb := p
+		pb.ZOracle = "broadcast"
+		rb, err := Run(name, scale, memsys.KindZMachine, pb)
+		if err != nil {
+			return nil, err
+		}
+		pp := p
+		pp.ZOracle = "perfect"
+		rp, err := Run(name, scale, memsys.KindZMachine, pp)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name,
+			fmt.Sprintf("%d", rb.TotalReadStall()),
+			fmt.Sprintf("%d", rp.TotalReadStall()),
+			fmt.Sprintf("%d", rb.ExecTime),
+			fmt.Sprintf("%d", rp.ExecTime))
+	}
+	return t, nil
+}
