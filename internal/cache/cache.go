@@ -42,6 +42,10 @@ type Line struct {
 	// Updates counts protocol updates received since the last local read
 	// (competitive protocol self-invalidation counter).
 	Updates int
+	// Version is the directory version of the contents this copy holds (see
+	// directory.Entry.Version). A copy whose version trails the directory's
+	// is stale.
+	Version uint64
 }
 
 // Cache is a private cache holding Line metadata keyed by line index.

@@ -90,10 +90,17 @@ type Entry struct {
 	// communication cost); the counter-is-zero condition of the paper is
 	// exactly now >= AvailableAt.
 	AvailableAt memsys.Time
+
+	// Version counts the write transactions that have made new contents of
+	// the line globally visible (ownership acquisitions and update fan-outs).
+	// Every valid cached copy must carry the entry's current version; a copy
+	// left behind is a stale copy, the defect the conformance checker's
+	// staleness invariant detects.
+	Version uint64
 }
 
 func (e *Entry) String() string {
-	return fmt.Sprintf("{%s sharers=%v owner=%d avail=%d}", e.State, e.Sharers.List(), e.Owner, e.AvailableAt)
+	return fmt.Sprintf("{%s sharers=%v owner=%d avail=%d v%d}", e.State, e.Sharers.List(), e.Owner, e.AvailableAt, e.Version)
 }
 
 // Directory is the collection of all nodes' directories.

@@ -69,6 +69,15 @@ type Params struct {
 	// Synchronization costs (process-coordination, inherent per §2.1).
 	LockLatency    Time // lock/unlock manipulation cost at the home node
 	BarrierLatency Time // barrier arrival bookkeeping cost
+
+	// FaultInjection seeds a deliberate protocol bug so the conformance
+	// checker (internal/check) can be validated against a known defect.
+	// Empty (the default) injects nothing. "drop-update" makes the
+	// update-based systems silently skip refreshing one sharer's copy per
+	// fan-out, leaving a stale cached value; "drop-inval" makes the
+	// write-invalidate systems skip invalidating one sharer on an ownership
+	// acquisition. Never set outside checker tests.
+	FaultInjection string
 }
 
 // Default returns the paper's configuration for p processors.
@@ -122,6 +131,16 @@ func DefaultMT(streams, threads int) Params {
 	return p
 }
 
+// WithProcs returns a copy of the params resized to p execution streams with
+// one hardware thread per node and a reshaped mesh, keeping every other
+// parameter (latencies, buffer sizes, fault injection) as configured.
+func (pa Params) WithProcs(p int) Params {
+	pa.Procs = p
+	pa.HWThreads = 1
+	pa.MeshW, pa.MeshH = meshShape(p)
+	return pa
+}
+
 // Nodes returns the number of NUMA nodes (processor cores).
 func (pa Params) Nodes() int { return pa.Procs / pa.HWThreads }
 
@@ -160,6 +179,11 @@ func (pa Params) Validate() error {
 	case "", "broadcast", "perfect":
 	default:
 		return fmt.Errorf("memsys: unknown ZOracle %q", pa.ZOracle)
+	}
+	switch pa.FaultInjection {
+	case "", "drop-update", "drop-inval":
+	default:
+		return fmt.Errorf("memsys: unknown FaultInjection %q", pa.FaultInjection)
 	}
 	switch pa.Topology {
 	case "", "mesh", "torus", "xbar", "bus":

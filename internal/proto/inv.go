@@ -60,7 +60,7 @@ func (v *inv) Read(p int, addr memsys.Addr, size int, now Time) Time {
 		v.ctr.ColdMisses++
 	}
 	t := v.readFill(n, line, now)
-	v.insert(n, line, cache.Shared, t)
+	v.fill(n, line, cache.Shared, t)
 	v.prefetch(n, line, now)
 	return t - now
 }
@@ -76,7 +76,7 @@ func (v *inv) prefetch(n int, line memsys.Addr, now Time) {
 		v.ctr.Prefetches++
 		v.markSeen(n, nl)
 		t := v.readFill(n, nl, now)
-		v.insert(n, nl, cache.Shared, t)
+		v.fill(n, nl, cache.Shared, t)
 	}
 }
 

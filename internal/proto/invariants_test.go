@@ -9,61 +9,20 @@ package proto
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
-	"zsim/internal/cache"
-	"zsim/internal/directory"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
 )
 
 // checkCoherence validates directory/cache agreement for one base-hardware
-// system.
+// system via the audit the conformance checker uses at runtime.
 func checkCoherence(t *testing.T, b *base, kind memsys.Kind) {
 	t.Helper()
-	nodes := b.p.Nodes()
-	b.dir.ForEach(func(line memsys.Addr, e *directory.Entry) {
-		// Collect actual cache states.
-		holders := 0
-		modified := -1
-		for n := 0; n < nodes; n++ {
-			if l, ok := b.caches[n].Lookup(line); ok {
-				holders++
-				if l.State == cache.Modified {
-					if modified >= 0 {
-						t.Fatalf("%s line %d: two Modified copies (nodes %d and %d)", kind, line, modified, n)
-					}
-					modified = n
-				}
-				if !e.Sharers.Has(n) {
-					t.Fatalf("%s line %d: node %d holds the line but is not a sharer (%v)", kind, line, n, e)
-				}
-			}
-		}
-		switch e.State {
-		case directory.Dirty:
-			if modified != e.Owner {
-				t.Fatalf("%s line %d: dir says owner %d, caches say %d", kind, line, e.Owner, modified)
-			}
-			if holders != 1 {
-				t.Fatalf("%s line %d: Dirty with %d cached copies", kind, line, holders)
-			}
-		case directory.SharedClean, directory.Special:
-			if modified >= 0 {
-				t.Fatalf("%s line %d: %s state but node %d holds Modified", kind, line, e.State, modified)
-			}
-			// With infinite caches every presence bit is backed by a copy.
-			e.Sharers.ForEach(func(n int) {
-				if _, ok := b.caches[n].Lookup(line); !ok {
-					t.Fatalf("%s line %d: presence bit for node %d without a cached copy", kind, line, n)
-				}
-			})
-		case directory.Uncached:
-			if holders != 0 {
-				t.Fatalf("%s line %d: Uncached but %d copies exist", kind, line, holders)
-			}
-		}
-	})
+	if vs := b.AuditConformance(); len(vs) > 0 {
+		t.Fatalf("%s: %d coherence invariant violations, first: %s", kind, len(vs), vs[0])
+	}
 }
 
 // baseOf extracts the base hardware from a system built in this package.
@@ -154,6 +113,51 @@ func TestCoherenceInvariantsFiniteAndMT(t *testing.T) {
 					now += s.Release(proc, now)
 				}
 				checkCoherence(t, b, kind)
+			}
+		})
+	}
+}
+
+// The audit must flag the deliberately seeded protocol defects: a lost update
+// leaves a stale copy behind; a lost invalidation leaves an unaccounted copy.
+func TestAuditDetectsInjectedFaults(t *testing.T) {
+	cases := []struct {
+		kind  memsys.Kind
+		fault string
+		want  string
+	}{
+		{memsys.KindRCUpd, "drop-update", "stale copy"},
+		{memsys.KindRCInv, "drop-inval", "line"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.kind)+"/"+tc.fault, func(t *testing.T) {
+			p := memsys.Default(8)
+			p.FaultInjection = tc.fault
+			s := MustNew(tc.kind, p, mesh.New(p))
+			b := baseOf(s)
+			rng := rand.New(rand.NewSource(3))
+			now := Time(0)
+			caught := false
+			for i := 0; i < 2000 && !caught; i++ {
+				proc := rng.Intn(8)
+				addr := memsys.Addr(rng.Intn(32)) * 8
+				switch rng.Intn(4) {
+				case 0, 1:
+					now += s.Read(proc, addr, 8, now) + 1
+				case 2:
+					now += s.Write(proc, addr, 8, now) + 1
+				case 3:
+					now += s.Release(proc, now) + 1
+				}
+				for _, v := range b.AuditConformance() {
+					if strings.Contains(v, tc.want) {
+						caught = true
+					}
+				}
+			}
+			if !caught {
+				t.Fatalf("%s with %s: audit never reported a violation containing %q", tc.kind, tc.fault, tc.want)
 			}
 		})
 	}

@@ -143,6 +143,15 @@ func (b *base) insert(p int, line memsys.Addr, st cache.State, readyAt Time) *ca
 	return l
 }
 
+// fill inserts the line into p's cache carrying the directory's current
+// contents: the copy is stamped with the entry's version, which is how the
+// conformance audit distinguishes a fresh copy from a stale one.
+func (b *base) fill(p int, line memsys.Addr, st cache.State, readyAt Time) *cache.Line {
+	l := b.insert(p, line, st, readyAt)
+	l.Version = b.dir.Entry(line * memsys.Addr(b.p.LineSize)).Version
+	return l
+}
+
 // evict handles a capacity/conflict victim: the directory is notified
 // (replacement hint) and dirty data is written back. Traffic is accounted
 // but does not extend the requesting processor's critical path.
@@ -239,8 +248,15 @@ func (b *base) ownership(p int, line memsys.Addr, now Time) Time {
 	default:
 		// Invalidate every other sharer; acks return to home.
 		acks := t
+		dropped := false
 		e.Sharers.ForEach(func(s int) {
 			if s == p {
+				return
+			}
+			if b.p.FaultInjection == "drop-inval" && !dropped {
+				// Seeded defect: the invalidation to one sharer is lost, so a
+				// stale read-only copy survives the ownership transfer.
+				dropped = true
 				return
 			}
 			at := b.ctrl(home, s, t)
@@ -261,7 +277,8 @@ func (b *base) ownership(p int, line memsys.Addr, now Time) Time {
 	e.Owner = p
 	e.Sharers.Clear()
 	e.Sharers.Add(p)
+	e.Version++ // new contents become globally visible with this ownership
 	b.markSeen(p, line)
-	b.insert(p, line, cache.Modified, t)
+	b.fill(p, line, cache.Modified, t)
 	return t
 }

@@ -74,7 +74,7 @@ func (u *upd) Read(p int, addr memsys.Addr, size int, now Time) Time {
 		return t - now
 	}
 	t := u.readFill(n, line, now)
-	u.insert(n, line, cache.Shared, t)
+	u.fill(n, line, cache.Shared, t)
 	return t - now
 }
 
@@ -100,7 +100,7 @@ func (u *upd) reinit(p int, line memsys.Addr, e *directory.Entry, now Time) Time
 	e.Sharers.Add(p)
 	e.State = directory.SharedClean // leaves Special until the next write
 	t = u.data(home, p, acks+u.p.MemLatency)
-	u.insert(p, line, cache.Shared, t)
+	u.fill(p, line, cache.Shared, t)
 	return t
 }
 
@@ -130,7 +130,9 @@ func (u *upd) updateTxn(p int, line memsys.Addr, t0 Time) Time {
 	e := u.dir.Entry(line * memsys.Addr(u.p.LineSize))
 	home := u.home(line)
 	t := u.data(p, home, t0) + u.p.DirLatency
+	e.Version++ // the fan-out makes new contents globally visible
 	acks := t
+	dropped := false
 	e.Sharers.ForEach(func(s int) {
 		if s == p {
 			return
@@ -141,12 +143,19 @@ func (u *upd) updateTxn(p int, line memsys.Addr, t0 Time) Time {
 			e.Sharers.Remove(s)
 			return
 		}
+		if u.p.FaultInjection == "drop-update" && !dropped {
+			// Seeded defect: the update to one sharer is lost, leaving its
+			// cached copy holding the previous version of the line.
+			dropped = true
+			return
+		}
 		ut := u.data(home, s, t)
 		u.ctr.Updates++
 		if sl.Updates > 0 {
 			u.ctr.UselessUpdates++
 		}
 		sl.Updates++
+		sl.Version = e.Version
 		if u.mode == updCompetitive && sl.Updates >= u.p.CompThreshold {
 			// Competitive self-invalidation: stop receiving updates.
 			u.caches[s].Invalidate(line)
@@ -165,7 +174,7 @@ func (u *upd) updateTxn(p int, line memsys.Addr, t0 Time) Time {
 		e.State = directory.SharedClean
 	}
 	u.markSeen(p, line)
-	u.insert(p, line, cache.Shared, acks)
+	u.fill(p, line, cache.Shared, acks)
 	return u.ctrl(home, p, acks)
 }
 
@@ -183,6 +192,13 @@ func (u *upd) Release(p int, now Time) Time {
 	}
 	t += u.sb[n].DrainStall(t)
 	return t - now
+}
+
+// ReleaseWatermark implements memsys.TokenSystem. The update systems drain
+// eagerly at releases, so after a Release the watermark equals the current
+// time; between releases it reflects the store buffer's pending completions.
+func (u *upd) ReleaseWatermark(p int, now Time) Time {
+	return u.sb[u.node(p)].Watermark(now)
 }
 
 func (u *upd) Acquire(int, Time) Time { return 0 }
