@@ -1,0 +1,374 @@
+// Package check implements a runtime memory-consistency conformance checker.
+// Attached to a machine (Machine.EnableCheck), it shadows the run and
+// validates, on every globally visible event, that the execution obeys the
+// memory model the simulated system claims to implement:
+//
+//   - Coherent reads: the simulator executes shared accesses in global
+//     schedule order, so every read must return the value of the most recent
+//     write in that linearization. The checker replays the order into a
+//     shadow memory and compares. (For the SC systems this is exactly
+//     sequential consistency; for the RC systems it is the SC-for-data-race-
+//     free executions the protocols guarantee, since the engine serializes
+//     racing accesses deterministically.)
+//
+//   - Protocol state: the CC-NUMA systems expose their directory and cache
+//     state through the Auditable interface. The checker verifies the
+//     single-writer/shared-reader invariants and — via per-line version
+//     stamps — that no processor ever reads through a stale cached copy (a
+//     lost invalidation or update).
+//
+//   - Synchronization: locks are mutually exclusive and are not granted
+//     before the previous holder's writes are performed (the release
+//     watermark); barrier departures happen only after the epoch's full
+//     complement of arrivals; flag waits complete only after the flag's set
+//     time; eager releases do not return with writes outstanding.
+//
+// A nil *Checker is valid and checks nothing, mirroring trace.Recorder, so
+// the machine's hot paths need no conditionals.
+package check
+
+import (
+	"fmt"
+
+	"zsim/internal/memsys"
+	"zsim/internal/trace"
+)
+
+// Auditable is implemented by memory systems that expose their coherence
+// state for auditing (the CC-NUMA protocol family in internal/proto; the
+// cacheless z-machine and PRAM models have nothing to audit).
+type Auditable interface {
+	// AuditConformance sweeps directory and cache state and returns a
+	// description of every violated invariant (empty when consistent).
+	AuditConformance() []string
+	// CopyVersion returns the version of node's cached copy of the line
+	// containing addr and the directory's current version; cached=false when
+	// the node holds no copy.
+	CopyVersion(node int, addr memsys.Addr) (copy, current uint64, cached bool)
+}
+
+// maxKeep bounds the violations retained verbatim; the total is always
+// counted.
+const maxKeep = 64
+
+type lockState struct {
+	held   bool
+	holder int
+	relWM  memsys.Time // watermark of the most recent release
+}
+
+type barState struct {
+	n        int           // participant count
+	arrivals []memsys.Time // arrival times, in observation order
+	departs  int           // total departures observed
+	arr      map[int]int   // per-proc arrival count
+	dep      map[int]int   // per-proc departure count
+}
+
+type flagState struct {
+	set   bool
+	setAt memsys.Time
+}
+
+// Checker validates memory-model invariants over a run's event stream. Its
+// methods are not safe for concurrent use; the simulation engine runs one
+// processor at a time, which is also what makes the observed order a
+// linearization.
+type Checker struct {
+	kind    memsys.Kind
+	p       memsys.Params
+	auditor Auditable
+	lazy    bool // rcsync: releases legitimately return before draining
+
+	shadow map[memsys.Addr]uint64
+	lastAt []memsys.Time // per-proc clock, for monotonicity
+	locks  map[int32]*lockState
+	bars   map[int32]*barState
+	flags  map[int32]*flagState
+
+	events    uint64
+	reads     uint64
+	writes    uint64
+	audits    uint64
+	nextAudit uint64
+
+	violations []string
+	nviol      uint64
+}
+
+// New returns a checker for a run on the given memory system. Attach the
+// protocol state with SetAuditor when the system supports it.
+func New(kind memsys.Kind, p memsys.Params) *Checker {
+	return &Checker{
+		kind:   kind,
+		p:      p,
+		lazy:   kind == memsys.KindRCSync,
+		shadow: make(map[memsys.Addr]uint64),
+		lastAt: make([]memsys.Time, p.Procs),
+		locks:  make(map[int32]*lockState),
+		bars:   make(map[int32]*barState),
+		flags:  make(map[int32]*flagState),
+	}
+}
+
+// SetAuditor attaches the memory system's protocol state, enabling the
+// staleness and directory/cache audits.
+func (c *Checker) SetAuditor(a Auditable) {
+	if c == nil {
+		return
+	}
+	c.auditor = a
+}
+
+// Poked records a value written directly into shared memory outside the
+// simulation (machine Poke calls during setup), keeping the shadow coherent.
+func (c *Checker) Poked(addr memsys.Addr, v uint64) {
+	if c == nil {
+		return
+	}
+	c.shadow[addr] = v
+}
+
+// Observe feeds one event. The machine calls it, in execution order, for
+// every event it also offers to the trace recorder.
+func (c *Checker) Observe(ev trace.Event) {
+	if c == nil {
+		return
+	}
+	c.events++
+	if int(ev.Proc) < len(c.lastAt) {
+		if ev.At < c.lastAt[ev.Proc] {
+			c.failf("P%d clock went backwards: %v at t=%d after t=%d", ev.Proc, ev.Kind, ev.At, c.lastAt[ev.Proc])
+		}
+		c.lastAt[ev.Proc] = ev.At
+	}
+	switch ev.Kind {
+	case trace.Read:
+		c.onRead(ev)
+	case trace.Write:
+		c.shadow[ev.Addr] = ev.Value
+		c.writes++
+	case trace.Release:
+		// An eager release must not return before its writes are performed:
+		// the post-release watermark cannot exceed the release's completion.
+		// rcsync is exempt by design (§6 decoupling).
+		if !c.lazy && memsys.Time(ev.Value) > ev.At+ev.Stall {
+			c.failf("P%d release at t=%d returned with writes outstanding (watermark %d > completion %d)",
+				ev.Proc, ev.At, ev.Value, ev.At+ev.Stall)
+		}
+	case trace.Acquire:
+		// Clock monotonicity above is the only acquire-side invariant.
+	case trace.LockAcq:
+		c.onLockAcq(ev)
+	case trace.LockRel:
+		c.onLockRel(ev)
+	case trace.BarArrive:
+		c.onBarArrive(ev)
+	case trace.BarDepart:
+		c.onBarDepart(ev)
+	case trace.FlagSet:
+		f := c.flag(ev.Obj)
+		f.set = true
+		f.setAt = memsys.Time(ev.Value)
+	case trace.FlagWait:
+		c.onFlagWait(ev)
+	}
+	if c.auditor != nil && c.events >= c.nextAudit {
+		c.runAudit()
+		// Exponential backoff keeps total audit work logarithmic in the
+		// event count, so checking stays well under the 2× overhead budget.
+		c.nextAudit = c.events*2 + 1024
+	}
+}
+
+func (c *Checker) onRead(ev trace.Event) {
+	c.reads++
+	// Unwritten shared memory reads as zero, so the map's zero default is the
+	// right expectation for first touches.
+	if want := c.shadow[ev.Addr]; ev.Value != want {
+		c.failf("P%d read %#x = %d at t=%d, but the linearization's latest write is %d (lost or reordered write)",
+			ev.Proc, ev.Addr, ev.Value, ev.At, want)
+	}
+	if c.auditor != nil {
+		node := c.p.Node(ev.Proc)
+		if cv, cur, cached := c.auditor.CopyVersion(node, ev.Addr); cached && cv != cur {
+			c.failf("P%d read %#x at t=%d through a stale cached copy (copy v%d, directory v%d)",
+				ev.Proc, ev.Addr, ev.At, cv, cur)
+		}
+	}
+}
+
+func (c *Checker) onLockAcq(ev trace.Event) {
+	l := c.lock(ev.Obj)
+	if l.held {
+		c.failf("lock %d granted to P%d at t=%d while held by P%d (mutual exclusion violated)",
+			ev.Obj, ev.Proc, ev.At, l.holder)
+	}
+	if ev.At < l.relWM {
+		c.failf("lock %d granted to P%d at t=%d before the previous holder's writes were performed (watermark %d)",
+			ev.Obj, ev.Proc, ev.At, l.relWM)
+	}
+	l.held, l.holder = true, ev.Proc
+}
+
+func (c *Checker) onLockRel(ev trace.Event) {
+	l := c.lock(ev.Obj)
+	switch {
+	case !l.held:
+		c.failf("lock %d released by P%d at t=%d but was not held", ev.Obj, ev.Proc, ev.At)
+	case l.holder != ev.Proc:
+		c.failf("lock %d released by P%d at t=%d but held by P%d", ev.Obj, ev.Proc, ev.At, l.holder)
+	}
+	l.held = false
+	l.relWM = memsys.Time(ev.Value)
+}
+
+func (c *Checker) onBarArrive(ev trace.Event) {
+	b := c.bar(ev.Obj)
+	if b.n == 0 {
+		b.n = int(ev.Value)
+	} else if b.n != int(ev.Value) {
+		c.failf("barrier %d participant count changed from %d to %d", ev.Obj, b.n, ev.Value)
+		return
+	}
+	if b.arr[ev.Proc] > b.dep[ev.Proc] {
+		c.failf("P%d re-arrived at barrier %d at t=%d without departing the previous epoch", ev.Proc, ev.Obj, ev.At)
+	}
+	b.arr[ev.Proc]++
+	b.arrivals = append(b.arrivals, ev.At)
+}
+
+func (c *Checker) onBarDepart(ev trace.Event) {
+	b := c.bar(ev.Obj)
+	if b.n == 0 {
+		c.failf("P%d departed barrier %d at t=%d before any arrival", ev.Proc, ev.Obj, ev.At)
+		return
+	}
+	if b.arr[ev.Proc] != b.dep[ev.Proc]+1 {
+		c.failf("P%d departed barrier %d at t=%d without a matching arrival", ev.Proc, ev.Obj, ev.At)
+	}
+	// Departures come in epoch groups of n: the j-th departure belongs to
+	// epoch j/n and requires that epoch's full complement of arrivals.
+	epoch := b.departs / b.n
+	need := (epoch + 1) * b.n
+	if len(b.arrivals) < need {
+		c.failf("P%d departed barrier %d at t=%d after only %d arrivals (epoch %d needs %d)",
+			ev.Proc, ev.Obj, ev.At, len(b.arrivals), epoch+1, need)
+	} else {
+		// The departure cannot precede the epoch's latest arrival.
+		var last memsys.Time
+		for _, at := range b.arrivals[epoch*b.n : need] {
+			if at > last {
+				last = at
+			}
+		}
+		if ev.At < last {
+			c.failf("P%d departed barrier %d at t=%d before the epoch's last arrival at t=%d",
+				ev.Proc, ev.Obj, ev.At, last)
+		}
+	}
+	b.departs++
+	b.dep[ev.Proc]++
+}
+
+func (c *Checker) onFlagWait(ev trace.Event) {
+	f := c.flag(ev.Obj)
+	if !f.set {
+		c.failf("P%d completed a wait on flag %d at t=%d but the flag was never set", ev.Proc, ev.Obj, ev.At)
+		return
+	}
+	if ev.At < f.setAt {
+		c.failf("P%d observed flag %d at t=%d before its set watermark %d (producer's writes not yet visible)",
+			ev.Proc, ev.Obj, ev.At, f.setAt)
+	}
+}
+
+// Finish runs the final full audit. The machine calls it when the run ends.
+func (c *Checker) Finish() {
+	if c == nil {
+		return
+	}
+	if c.auditor != nil {
+		c.runAudit()
+	}
+}
+
+func (c *Checker) runAudit() {
+	c.audits++
+	for _, v := range c.auditor.AuditConformance() {
+		c.failf("audit: %s", v)
+	}
+}
+
+func (c *Checker) lock(obj int32) *lockState {
+	l, ok := c.locks[obj]
+	if !ok {
+		l = &lockState{}
+		c.locks[obj] = l
+	}
+	return l
+}
+
+func (c *Checker) bar(obj int32) *barState {
+	b, ok := c.bars[obj]
+	if !ok {
+		b = &barState{arr: map[int]int{}, dep: map[int]int{}}
+		c.bars[obj] = b
+	}
+	return b
+}
+
+func (c *Checker) flag(obj int32) *flagState {
+	f, ok := c.flags[obj]
+	if !ok {
+		f = &flagState{}
+		c.flags[obj] = f
+	}
+	return f
+}
+
+func (c *Checker) failf(format string, args ...any) {
+	c.nviol++
+	if len(c.violations) < maxKeep {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Ok reports whether no invariant was violated.
+func (c *Checker) Ok() bool { return c == nil || c.nviol == 0 }
+
+// Violations returns the retained violation descriptions (at most maxKeep;
+// NumViolations counts all).
+func (c *Checker) Violations() []string {
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c.violations...)
+}
+
+// NumViolations returns the total number of violations, including any beyond
+// the retention cap.
+func (c *Checker) NumViolations() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.nviol
+}
+
+// Err returns nil when the run conformed, or an error summarizing the first
+// violation and the total count.
+func (c *Checker) Err() error {
+	if c.Ok() {
+		return nil
+	}
+	return fmt.Errorf("check: %s %d conformance violations, first: %s", c.kind, c.nviol, c.violations[0])
+}
+
+// Stats reports how much work the checker did: events observed, reads and
+// writes validated, and full audits run.
+func (c *Checker) Stats() (events, reads, writes, audits uint64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.events, c.reads, c.writes, c.audits
+}

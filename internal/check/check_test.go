@@ -1,0 +1,215 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"zsim/internal/memsys"
+	"zsim/internal/trace"
+)
+
+func newChecker() *Checker { return New(memsys.KindRCInv, memsys.Default(4)) }
+
+func wantViolation(t *testing.T, c *Checker, substr string) {
+	t.Helper()
+	if c.Ok() {
+		t.Fatalf("expected a violation containing %q, got none", substr)
+	}
+	for _, v := range c.Violations() {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation contains %q; got %v", substr, c.Violations())
+}
+
+func TestNilCheckerIsSafe(t *testing.T) {
+	var c *Checker
+	c.Observe(trace.Event{Kind: trace.Read})
+	c.Poked(0, 1)
+	c.SetAuditor(nil)
+	c.Finish()
+	if !c.Ok() || c.Err() != nil || c.Violations() != nil || c.NumViolations() != 0 {
+		t.Fatal("nil checker must report success")
+	}
+}
+
+func TestShadowMemoryCatchesLostWrite(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.Write, Addr: 64, Value: 7})
+	c.Observe(trace.Event{At: 2, Proc: 1, Kind: trace.Read, Addr: 64, Value: 7})
+	if !c.Ok() {
+		t.Fatalf("coherent read flagged: %v", c.Violations())
+	}
+	c.Observe(trace.Event{At: 3, Proc: 1, Kind: trace.Read, Addr: 64, Value: 5})
+	wantViolation(t, c, "latest write is 7")
+}
+
+func TestShadowTreatsUntouchedAsZero(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.Read, Addr: 8, Value: 3})
+	wantViolation(t, c, "latest write is 0")
+}
+
+func TestPokeSeedsShadow(t *testing.T) {
+	c := newChecker()
+	c.Poked(8, 3)
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.Read, Addr: 8, Value: 3})
+	if !c.Ok() {
+		t.Fatalf("poked value flagged: %v", c.Violations())
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.LockAcq, Obj: 1})
+	c.Observe(trace.Event{At: 2, Proc: 1, Kind: trace.LockAcq, Obj: 1})
+	wantViolation(t, c, "mutual exclusion")
+}
+
+func TestLockReleaseByNonHolder(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.LockAcq, Obj: 1})
+	c.Observe(trace.Event{At: 2, Proc: 1, Kind: trace.LockRel, Obj: 1})
+	wantViolation(t, c, "held by P0")
+}
+
+func TestLockHandoffRespectsWatermark(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.LockAcq, Obj: 1})
+	c.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.LockRel, Obj: 1, Value: 100})
+	c.Observe(trace.Event{At: 50, Proc: 1, Kind: trace.LockAcq, Obj: 1})
+	wantViolation(t, c, "watermark 100")
+
+	c2 := newChecker()
+	c2.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.LockAcq, Obj: 1})
+	c2.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.LockRel, Obj: 1, Value: 100})
+	c2.Observe(trace.Event{At: 100, Proc: 1, Kind: trace.LockAcq, Obj: 1})
+	if !c2.Ok() {
+		t.Fatalf("legal handoff flagged: %v", c2.Violations())
+	}
+}
+
+func TestEagerReleaseMustDrain(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.Release, Stall: 5, Value: 40})
+	wantViolation(t, c, "writes outstanding")
+
+	// rcsync decouples by design: the same event is legal there.
+	lazy := New(memsys.KindRCSync, memsys.Default(4))
+	lazy.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.Release, Stall: 0, Value: 40})
+	if !lazy.Ok() {
+		t.Fatalf("rcsync lazy release flagged: %v", lazy.Violations())
+	}
+}
+
+func TestBarrierPrematureRelease(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.BarArrive, Obj: 2, Value: 3})
+	c.Observe(trace.Event{At: 2, Proc: 1, Kind: trace.BarArrive, Obj: 2, Value: 3})
+	c.Observe(trace.Event{At: 3, Proc: 0, Kind: trace.BarDepart, Obj: 2, Value: 3})
+	wantViolation(t, c, "only 2 arrivals")
+}
+
+func TestBarrierEpochAlignment(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.BarArrive, Obj: 2, Value: 2})
+	c.Observe(trace.Event{At: 2, Proc: 0, Kind: trace.BarArrive, Obj: 2, Value: 2})
+	wantViolation(t, c, "re-arrived")
+}
+
+func TestBarrierDepartBeforeLastArrival(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.BarArrive, Obj: 2, Value: 2})
+	c.Observe(trace.Event{At: 9, Proc: 1, Kind: trace.BarArrive, Obj: 2, Value: 2})
+	c.Observe(trace.Event{At: 5, Proc: 0, Kind: trace.BarDepart, Obj: 2, Value: 2})
+	wantViolation(t, c, "before the epoch's last arrival")
+}
+
+func TestBarrierCleanEpochs(t *testing.T) {
+	c := newChecker()
+	for epoch := 0; epoch < 3; epoch++ {
+		base := memsys.Time(epoch * 100)
+		c.Observe(trace.Event{At: base + 1, Proc: 0, Kind: trace.BarArrive, Obj: 2, Value: 2})
+		c.Observe(trace.Event{At: base + 2, Proc: 1, Kind: trace.BarArrive, Obj: 2, Value: 2})
+		c.Observe(trace.Event{At: base + 10, Proc: 1, Kind: trace.BarDepart, Obj: 2, Value: 2})
+		c.Observe(trace.Event{At: base + 11, Proc: 0, Kind: trace.BarDepart, Obj: 2, Value: 2})
+	}
+	if !c.Ok() {
+		t.Fatalf("clean barrier epochs flagged: %v", c.Violations())
+	}
+}
+
+func TestFlagWaitBeforeSet(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 1, Proc: 1, Kind: trace.FlagWait, Obj: 3})
+	wantViolation(t, c, "never set")
+}
+
+func TestFlagWaitBeforeWatermark(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 5, Proc: 0, Kind: trace.FlagSet, Obj: 3, Value: 50})
+	c.Observe(trace.Event{At: 10, Proc: 1, Kind: trace.FlagWait, Obj: 3})
+	wantViolation(t, c, "set watermark 50")
+}
+
+func TestClockMonotonicityPerProc(t *testing.T) {
+	c := newChecker()
+	c.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.Read, Addr: 8})
+	c.Observe(trace.Event{At: 5, Proc: 0, Kind: trace.Read, Addr: 8})
+	wantViolation(t, c, "clock went backwards")
+
+	// Different processors may interleave arbitrarily in global time.
+	c2 := newChecker()
+	c2.Observe(trace.Event{At: 10, Proc: 0, Kind: trace.Read, Addr: 8})
+	c2.Observe(trace.Event{At: 5, Proc: 1, Kind: trace.Read, Addr: 8})
+	if !c2.Ok() {
+		t.Fatalf("cross-proc interleaving flagged: %v", c2.Violations())
+	}
+}
+
+// fakeAuditor lets the audit plumbing be tested without a protocol.
+type fakeAuditor struct {
+	findings []string
+	copyV    uint64
+	curV     uint64
+	cached   bool
+}
+
+func (f *fakeAuditor) AuditConformance() []string { return f.findings }
+func (f *fakeAuditor) CopyVersion(int, memsys.Addr) (uint64, uint64, bool) {
+	return f.copyV, f.curV, f.cached
+}
+
+func TestStaleCopyDetection(t *testing.T) {
+	c := newChecker()
+	c.SetAuditor(&fakeAuditor{copyV: 1, curV: 3, cached: true})
+	c.Observe(trace.Event{At: 1, Proc: 0, Kind: trace.Read, Addr: 8, Value: 0})
+	wantViolation(t, c, "stale cached copy")
+}
+
+func TestFinalAuditRuns(t *testing.T) {
+	c := newChecker()
+	c.SetAuditor(&fakeAuditor{findings: []string{"boom"}, cached: false})
+	c.Finish()
+	wantViolation(t, c, "audit: boom")
+	if _, _, _, audits := c.Stats(); audits == 0 {
+		t.Fatal("Stats reports no audits")
+	}
+}
+
+func TestViolationRetentionCap(t *testing.T) {
+	c := newChecker()
+	for i := 0; i < maxKeep+50; i++ {
+		c.Observe(trace.Event{At: memsys.Time(i), Proc: 0, Kind: trace.Read, Addr: 8, Value: 9})
+	}
+	if got := len(c.Violations()); got != maxKeep {
+		t.Fatalf("retained %d violations, want cap %d", got, maxKeep)
+	}
+	if c.NumViolations() != maxKeep+50 {
+		t.Fatalf("counted %d violations, want %d", c.NumViolations(), maxKeep+50)
+	}
+	if c.Err() == nil {
+		t.Fatal("Err must be non-nil after violations")
+	}
+}

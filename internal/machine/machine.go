@@ -9,6 +9,7 @@ package machine
 import (
 	"math"
 
+	"zsim/internal/check"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
 	"zsim/internal/proto"
@@ -34,6 +35,11 @@ type Machine struct {
 	envs   []*Env
 	// rec, when non-nil, records every globally visible event.
 	rec *trace.Recorder
+	// chk, when non-nil, validates memory-model invariants on every event.
+	chk *check.Checker
+	// syncIDs numbers the synchronization objects (locks, barriers, flags)
+	// built on this machine, for event attribution.
+	syncIDs int32
 	// coreFree[node] is when the node's core finishes its current
 	// computation; with HWThreads > 1 the threads of a node contend for it
 	// (switch-on-miss multithreading: memory stalls do not hold the core).
@@ -92,6 +98,31 @@ func (m *Machine) EnableTrace(cap int) *trace.Recorder {
 // Trace returns the attached recorder (nil unless EnableTrace was called).
 func (m *Machine) Trace() *trace.Recorder { return m.rec }
 
+// EnableCheck attaches a runtime memory-consistency conformance checker that
+// validates every globally visible event against the memory model (see
+// internal/check); it returns the checker for interrogation after the run.
+// Call it before initializing shared memory so setup Pokes reach the
+// checker's shadow.
+func (m *Machine) EnableCheck() *check.Checker {
+	m.chk = check.New(m.Mem.Name(), m.Params)
+	if a, ok := m.Mem.(check.Auditable); ok {
+		m.chk.SetAuditor(a)
+	}
+	return m.chk
+}
+
+// Checker returns the attached conformance checker (nil unless EnableCheck
+// was called).
+func (m *Machine) Checker() *check.Checker { return m.chk }
+
+// NewSyncObjID issues the next synchronization-object id; the psync
+// primitives call it at construction so trace and checker can attribute
+// lock/barrier/flag events.
+func (m *Machine) NewSyncObjID() int32 {
+	m.syncIDs++
+	return m.syncIDs
+}
+
 // PeekU64 reads a shared word without simulating an access (setup,
 // verification, and debugging only).
 func (m *Machine) PeekU64(addr memsys.Addr) uint64 { return m.values[addr] }
@@ -99,7 +130,10 @@ func (m *Machine) PeekU64(addr memsys.Addr) uint64 { return m.values[addr] }
 // PokeU64 writes a shared word without simulating an access. Use only for
 // pre-run initialization (the initial data placement is free, as if loaded
 // before timing starts) and never from application bodies.
-func (m *Machine) PokeU64(addr memsys.Addr, v uint64) { m.values[addr] = v }
+func (m *Machine) PokeU64(addr memsys.Addr, v uint64) {
+	m.values[addr] = v
+	m.chk.Poked(addr, v)
+}
 
 // PeekF64 reads a shared float64 without simulation.
 func (m *Machine) PeekF64(addr memsys.Addr) float64 {
@@ -109,6 +143,7 @@ func (m *Machine) PeekF64(addr memsys.Addr) float64 {
 // PokeF64 writes a shared float64 without simulation.
 func (m *Machine) PokeF64(addr memsys.Addr, v float64) {
 	m.values[addr] = math.Float64bits(v)
+	m.chk.Poked(addr, math.Float64bits(v))
 }
 
 // Run executes body on every processor and returns the run's result. A
@@ -121,6 +156,7 @@ func (m *Machine) Run(app string, body func(e *Env)) *stats.Result {
 	exec := m.Eng.Run(func(p *sim.Proc) {
 		body(m.envs[p.ID()])
 	})
+	m.chk.Finish()
 	res := &stats.Result{
 		App:      app,
 		System:   m.Mem.Name(),
@@ -183,8 +219,9 @@ func (e *Env) LoadU64(addr memsys.Addr) uint64 {
 	stall := e.m.Mem.Read(e.ID(), addr, shm.WordSize, at)
 	e.st.ReadStall += stall
 	e.p.Advance(stall)
-	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: stall})
-	return e.m.values[addr]
+	v := e.m.values[addr]
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: stall, Value: v})
+	return v
 }
 
 // StoreU64 performs a simulated shared write of the 8-byte word at addr.
@@ -194,8 +231,8 @@ func (e *Env) StoreU64(addr memsys.Addr, v uint64) {
 	stall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, at)
 	e.st.WriteStall += stall
 	e.p.Advance(stall)
-	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: stall})
 	e.m.values[addr] = v
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: stall, Value: v})
 }
 
 // AtomicSwapU64 models an atomic exchange (test-and-set class hardware
@@ -212,11 +249,18 @@ func (e *Env) AtomicSwapU64(addr memsys.Addr, v uint64) uint64 {
 	wstall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, e.p.Clock())
 	e.st.WriteStall += wstall
 	e.p.Advance(wstall)
-	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: rstall})
-	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: wstall})
 	old := e.m.values[addr]
 	e.m.values[addr] = v
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: rstall, Value: old})
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: wstall, Value: v})
 	return old
+}
+
+// event offers an event to the trace recorder and the conformance checker
+// (both nil-safe).
+func (e *Env) event(ev trace.Event) {
+	e.m.rec.Record(ev)
+	e.m.chk.Observe(ev)
 }
 
 // LoadF64 reads a shared float64.
@@ -245,7 +289,8 @@ func (e *Env) ReleasePoint() {
 	stall := e.m.Mem.Release(e.ID(), at)
 	e.st.BufferFlush += stall
 	e.p.Advance(stall)
-	e.m.rec.Record(trace.Event{At: at, Proc: e.ID(), Kind: trace.Release, Stall: stall})
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Release, Stall: stall,
+		Value: uint64(e.ReleaseWatermark())})
 }
 
 // ReleaseWatermark returns the time by which this processor's issued
@@ -263,9 +308,19 @@ func (e *Env) ReleaseWatermark() Time {
 
 // AcquirePoint applies acquire semantics at a synchronization grant.
 func (e *Env) AcquirePoint() {
-	stall := e.m.Mem.Acquire(e.ID(), e.p.Clock())
+	at := e.p.Clock()
+	stall := e.m.Mem.Acquire(e.ID(), at)
 	e.st.ReadStall += stall
 	e.p.Advance(stall)
+	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Acquire, Stall: stall})
+}
+
+// RecordSync records a synchronization-object event (lock grant/release,
+// barrier arrival/departure, flag set/wait) for tracing and conformance
+// checking. The psync primitives call it; obj ids come from
+// Machine.NewSyncObjID and value is kind-dependent (see trace.Event).
+func (e *Env) RecordSync(kind trace.Kind, obj int32, value uint64) {
+	e.event(trace.Event{At: e.p.Clock(), Proc: e.ID(), Kind: kind, Obj: obj, Value: value})
 }
 
 // AdvanceTo moves the clock forward to t (no-op if already past).

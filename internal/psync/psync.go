@@ -13,6 +13,7 @@ package psync
 import (
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
+	"zsim/internal/trace"
 )
 
 // Time aliases virtual time.
@@ -23,6 +24,7 @@ type Time = memsys.Time
 // queues the requester; a release hands the lock to the next waiter.
 type Lock struct {
 	m      *machine.Machine
+	id     int32
 	addr   memsys.Addr
 	home   int
 	held   bool
@@ -34,7 +36,7 @@ type Lock struct {
 // home node that mediates it).
 func NewLock(m *machine.Machine) *Lock {
 	addr := m.Alloc(8)
-	return &Lock{m: m, addr: addr, home: m.Params.Home(addr, m.Params.LineSize)}
+	return &Lock{m: m, id: m.NewSyncObjID(), addr: addr, home: m.Params.Home(addr, m.Params.LineSize)}
 }
 
 // Acquire blocks until the lock is granted. The wait is SyncWait; the grant
@@ -57,6 +59,7 @@ func (l *Lock) Acquire(e *machine.Env) {
 		e.AddSyncWait(e.Clock() - start)
 	}
 	e.AcquirePoint()
+	e.RecordSync(trace.LockAcq, l.id, 0)
 }
 
 // Release applies release semantics (buffer flush) and hands the lock to
@@ -73,6 +76,7 @@ func (l *Lock) Release(e *machine.Env) {
 	if wm := e.ReleaseWatermark(); wm > rel {
 		rel = wm
 	}
+	e.RecordSync(trace.LockRel, l.id, uint64(rel))
 	if len(l.queue) > 0 {
 		w := l.queue[0]
 		l.queue = l.queue[1:]
@@ -89,6 +93,7 @@ func (l *Lock) Release(e *machine.Env) {
 // control message; the last arrival broadcasts the release.
 type Barrier struct {
 	m       *machine.Machine
+	id      int32
 	n       int
 	waiting []*machine.Env
 	maxArr  Time
@@ -102,7 +107,7 @@ func NewBarrierN(m *machine.Machine, n int) *Barrier {
 	if n <= 0 {
 		panic("psync: barrier needs at least one participant")
 	}
-	return &Barrier{m: m, n: n}
+	return &Barrier{m: m, id: m.NewSyncObjID(), n: n}
 }
 
 // Wait applies release semantics (arrival is a release point), parks until
@@ -117,6 +122,7 @@ func (b *Barrier) Wait(e *machine.Env) {
 	if arr > b.maxArr {
 		b.maxArr = arr
 	}
+	e.RecordSync(trace.BarArrive, b.id, uint64(b.n))
 	if len(b.waiting)+1 < b.n {
 		b.waiting = append(b.waiting, e)
 		e.Block("barrier")
@@ -134,11 +140,13 @@ func (b *Barrier) Wait(e *machine.Env) {
 		e.AddSyncWait(e.Clock() - start)
 	}
 	e.AcquirePoint()
+	e.RecordSync(trace.BarDepart, b.id, uint64(b.n))
 }
 
 // Flag is a one-shot producer-consumer event.
 type Flag struct {
 	m       *machine.Machine
+	id      int32
 	set     bool
 	setAt   Time
 	setter  int // node of the setting stream
@@ -146,7 +154,7 @@ type Flag struct {
 }
 
 // NewFlag returns an unset flag.
-func NewFlag(m *machine.Machine) *Flag { return &Flag{m: m} }
+func NewFlag(m *machine.Machine) *Flag { return &Flag{m: m, id: m.NewSyncObjID()} }
 
 // Set raises the flag (a release point) and wakes all waiters.
 func (f *Flag) Set(e *machine.Env) {
@@ -157,6 +165,7 @@ func (f *Flag) Set(e *machine.Env) {
 		f.setAt = wm // rcsync: consumers observe the flag after the writes land
 	}
 	f.setter = e.NodeID()
+	e.RecordSync(trace.FlagSet, f.id, uint64(f.setAt))
 	for _, w := range f.waiting {
 		grant := e.SendCtrlFrom(f.setter, w.NodeID(), f.setAt)
 		w.Unblock(grant)
@@ -179,6 +188,7 @@ func (f *Flag) Wait(e *machine.Env) {
 		e.AddSyncWait(e.Clock() - start)
 	}
 	e.AcquirePoint()
+	e.RecordSync(trace.FlagWait, f.id, 0)
 }
 
 // IsSet reports the flag state without waiting (a cheap local test).

@@ -3,6 +3,7 @@ package psync
 import (
 	"zsim/internal/machine"
 	"zsim/internal/shm"
+	"zsim/internal/trace"
 )
 
 // SpinLock is a software test-and-test-and-set lock built from ordinary
@@ -15,6 +16,7 @@ import (
 // textbook workload for watching protocols handle synchronization data.
 type SpinLock struct {
 	m       *machine.Machine
+	id      int32
 	flag    shm.U64 // [0]: 0 free, 1 held
 	backoff machine.Time
 }
@@ -25,7 +27,7 @@ func NewSpinLock(m *machine.Machine, backoff machine.Time) *SpinLock {
 	if backoff == 0 {
 		backoff = 16
 	}
-	return &SpinLock{m: m, flag: shm.NewU64(m.Heap, 1), backoff: backoff}
+	return &SpinLock{m: m, id: m.NewSyncObjID(), flag: shm.NewU64(m.Heap, 1), backoff: backoff}
 }
 
 // Acquire spins until the test-and-set wins, then applies acquire
@@ -46,6 +48,7 @@ func (l *SpinLock) Acquire(e *machine.Env) {
 		e.Compute(l.backoff)
 	}
 	e.AcquirePoint()
+	e.RecordSync(trace.LockAcq, l.id, 0)
 }
 
 // TryAcquire attempts the lock once without spinning.
@@ -55,6 +58,7 @@ func (l *SpinLock) TryAcquire(e *machine.Env) bool {
 	}
 	if e.AtomicSwapU64(l.flag.At(0), 1) == 0 {
 		e.AcquirePoint()
+		e.RecordSync(trace.LockAcq, l.id, 0)
 		return true
 	}
 	return false
@@ -63,6 +67,7 @@ func (l *SpinLock) TryAcquire(e *machine.Env) bool {
 // Release applies release semantics and clears the flag.
 func (l *SpinLock) Release(e *machine.Env) {
 	e.ReleasePoint()
+	e.RecordSync(trace.LockRel, l.id, uint64(e.Clock()))
 	l.flag.Set(e, 0, 0)
 }
 
@@ -75,6 +80,7 @@ func (l *SpinLock) Release(e *machine.Env) {
 // the contention-accurate reference.
 type TreeBarrier struct {
 	m       *machine.Machine
+	id      int32
 	n       int
 	arrived []arrival
 	waiting []*machine.Env
@@ -87,7 +93,7 @@ type arrival struct {
 
 // NewTreeBarrier returns a reusable tree barrier over all processors.
 func NewTreeBarrier(m *machine.Machine) *TreeBarrier {
-	return &TreeBarrier{m: m, n: m.NumProcs()}
+	return &TreeBarrier{m: m, id: m.NewSyncObjID(), n: m.NumProcs()}
 }
 
 // Wait applies release semantics, parks until all participants arrive, and
@@ -100,6 +106,7 @@ func (b *TreeBarrier) Wait(e *machine.Env) {
 		at = wm // rcsync: the combine waits for the writes instead
 	}
 	b.arrived = append(b.arrived, arrival{node: e.NodeID(), at: at})
+	e.RecordSync(trace.BarArrive, b.id, uint64(b.n))
 	if len(b.arrived) < b.n {
 		b.waiting = append(b.waiting, e)
 		e.Block("tree barrier")
@@ -115,6 +122,7 @@ func (b *TreeBarrier) Wait(e *machine.Env) {
 		e.AddSyncWait(e.Clock() - start)
 	}
 	e.AcquirePoint()
+	e.RecordSync(trace.BarDepart, b.id, uint64(b.n))
 }
 
 // combine folds the arrivals up the binary tree and returns the time the

@@ -28,6 +28,25 @@ const (
 	Release
 	// Acquire is an acquire-type synchronization point.
 	Acquire
+	// LockAcq is a lock grant (recorded by the new holder). Obj identifies
+	// the lock.
+	LockAcq
+	// LockRel is a lock release. Obj identifies the lock; Value carries the
+	// time by which the holder's prior writes are globally performed (the
+	// release watermark a conformance checker validates handoffs against).
+	LockRel
+	// BarArrive is a barrier arrival. Obj identifies the barrier; Value
+	// carries the participant count.
+	BarArrive
+	// BarDepart is a barrier exit. Obj identifies the barrier; Value carries
+	// the participant count.
+	BarDepart
+	// FlagSet is a producer-consumer flag being raised. Obj identifies the
+	// flag; Value carries the time the flag (and the setter's prior writes)
+	// becomes observable.
+	FlagSet
+	// FlagWait is a completed wait on a flag. Obj identifies the flag.
+	FlagWait
 )
 
 func (k Kind) String() string {
@@ -40,6 +59,18 @@ func (k Kind) String() string {
 		return "rel"
 	case Acquire:
 		return "acq"
+	case LockAcq:
+		return "l+"
+	case LockRel:
+		return "l-"
+	case BarArrive:
+		return "b>"
+	case BarDepart:
+		return "b<"
+	case FlagSet:
+		return "f+"
+	case FlagWait:
+		return "f?"
 	}
 	return "?"
 }
@@ -51,12 +82,24 @@ type Event struct {
 	Kind  Kind
 	Addr  memsys.Addr // meaningful for Read/Write
 	Stall memsys.Time // cycles the processor waited
+	// Value is kind-dependent: the datum read or written (Read/Write), the
+	// release watermark (Release/LockRel/FlagSet), or the participant count
+	// (BarArrive/BarDepart).
+	Value uint64
+	// Obj identifies the synchronization object of a sync event (lock,
+	// barrier, or flag id assigned by the machine); 0 for memory events.
+	Obj int32
 }
+
+// IsSync reports whether the event is a synchronization-object event.
+func (k Kind) IsSync() bool { return k >= LockAcq }
 
 func (e Event) String() string {
 	switch e.Kind {
 	case Read, Write:
-		return fmt.Sprintf("%10d P%-2d %-3s %#08x stall=%d", e.At, e.Proc, e.Kind, e.Addr, e.Stall)
+		return fmt.Sprintf("%10d P%-2d %-3s %#08x stall=%d val=%d", e.At, e.Proc, e.Kind, e.Addr, e.Stall, e.Value)
+	case LockAcq, LockRel, BarArrive, BarDepart, FlagSet, FlagWait:
+		return fmt.Sprintf("%10d P%-2d %-3s obj=%d val=%d", e.At, e.Proc, e.Kind, e.Obj, e.Value)
 	}
 	return fmt.Sprintf("%10d P%-2d %-3s stall=%d", e.At, e.Proc, e.Kind, e.Stall)
 }
