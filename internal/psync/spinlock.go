@@ -67,6 +67,13 @@ func (l *SpinLock) TryAcquire(e *machine.Env) bool {
 // Release applies release semantics and clears the flag.
 func (l *SpinLock) Release(e *machine.Env) {
 	e.ReleasePoint()
+	// Under a data-flow-decoupled system (rcsync) the release returns before
+	// the writes are performed; clearing the flag immediately would let the
+	// next winner enter the critical section too early. Hold the clear until
+	// the watermark — a no-op for the eager systems, whose release drained.
+	if wm := e.ReleaseWatermark(); wm > e.Clock() {
+		e.AdvanceTo(wm)
+	}
 	e.RecordSync(trace.LockRel, l.id, uint64(e.Clock()))
 	l.flag.Set(e, 0, 0)
 }
