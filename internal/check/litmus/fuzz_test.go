@@ -1,0 +1,33 @@
+package litmus
+
+import (
+	"testing"
+
+	"zsim/internal/memsys"
+)
+
+// FuzzLitmus treats the fuzz input as a program-generator seed: each input
+// becomes a random litmus program run on every memory system with the
+// conformance checker as the oracle. Interesting seeds that once exposed
+// generator or protocol issues live in testdata/fuzz/FuzzLitmus.
+func FuzzLitmus(f *testing.F) {
+	for _, s := range []int64{1, 7, 42, 1995} {
+		f.Add(s)
+	}
+	base := memsys.Default(4)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rt := RandomTest(seed)
+		for _, kind := range memsys.Kinds() {
+			r, err := RunTest(rt, kind, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Allowed {
+				t.Errorf("%s/%s: locked counter outcome %q (expected %v)", rt.Name, kind, r.Outcome, rt.Allowed[SC])
+			}
+			for _, v := range r.Violations {
+				t.Errorf("%s/%s: checker violation: %s", rt.Name, kind, v)
+			}
+		}
+	})
+}

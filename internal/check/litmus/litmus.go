@@ -1,0 +1,261 @@
+// Package litmus is a litmus-test harness for the simulated memory systems:
+// small hand-written concurrent programs (message passing, store buffering,
+// coherence ping-pong, lock handoff, barrier reuse) executed on every memory
+// system with the conformance checker attached, and their observed outcomes
+// judged against expected-outcome tables per consistency model class.
+//
+// The simulator executes shared accesses in a deterministic global schedule,
+// so each (test, system) pair produces exactly one outcome. The tables
+// therefore serve two purposes: the run fails if the outcome is outside what
+// the system's consistency contract allows (a model violation), and the
+// golden tests additionally pin the exact deterministic outcome (a
+// regression fence).
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// Class groups the memory systems by consistency contract.
+type Class string
+
+const (
+	// SC is sequential consistency: scinv (every write stalls to global
+	// completion) and pram (unit-cost memory, trivially SC).
+	SC Class = "sc"
+	// RC is release consistency: rcinv, rcupd, rccomp, rcadapt, and the §6
+	// rcsync proposal. Data races may observe buffered writes out of order;
+	// properly synchronized accesses behave like SC.
+	RC Class = "rc"
+	// Z is the z-machine's model: the weakest model commensurate with the
+	// data flow of the program (writes propagate eagerly; reads wait only
+	// for inherent communication).
+	Z Class = "z"
+)
+
+// ClassOf returns the consistency class of a memory system.
+func ClassOf(kind memsys.Kind) Class {
+	switch kind {
+	case memsys.KindSCInv, memsys.KindPRAM:
+		return SC
+	case memsys.KindZMachine:
+		return Z
+	}
+	return RC
+}
+
+// Regs are one processor's observation registers.
+type Regs []uint64
+
+// Harness hands a litmus program its machine, shared variables, and one of
+// each synchronization primitive (allocated deterministically so object ids
+// and heap layout are identical across systems).
+type Harness struct {
+	M    *machine.Machine
+	V    shm.U64 // shared variables x0..x(NVars-1), zero-initialized
+	Lock *psync.Lock
+	Spin *psync.SpinLock
+	Bar  *psync.Barrier
+	Tree *psync.TreeBarrier
+	Flag *psync.Flag
+	Q    *psync.Queue
+
+	regs []Regs
+}
+
+// Test is one litmus program plus its expected-outcome tables.
+type Test struct {
+	Name  string
+	Procs int // processors the program runs on
+	NRegs int // observation registers per processor
+	NVars int // shared variables
+
+	// Body runs on every processor; r is the processor's register file.
+	Body func(h *Harness, e *machine.Env, r Regs)
+
+	// Final, when non-nil, is evaluated after the run (Peek, no simulation)
+	// and its result appended to the outcome.
+	Final func(h *Harness) string
+
+	// Allowed lists the outcomes each class's contract permits; an empty or
+	// missing list means any outcome not in Forbidden passes.
+	Allowed map[Class][]string
+	// Forbidden lists outcomes that are model violations for the class.
+	Forbidden map[Class][]string
+}
+
+// Result is the judged outcome of one (test, system) execution.
+type Result struct {
+	Test       string
+	Kind       memsys.Kind
+	Outcome    string
+	Allowed    bool     // outcome is within the class's expected-outcome table
+	Violations []string // conformance-checker findings (nil when clean)
+	Events     uint64   // events the checker validated
+}
+
+// Ok reports whether the execution was conformant: expected outcome and no
+// checker violations.
+func (r Result) Ok() bool { return r.Allowed && len(r.Violations) == 0 }
+
+// RunTest executes one litmus test on one memory system with the conformance
+// checker attached. base supplies the architectural parameters; it is
+// resized to the test's processor count.
+func RunTest(t Test, kind memsys.Kind, base memsys.Params) (Result, error) {
+	p := base.WithProcs(t.Procs)
+	m, err := machine.New(kind, p)
+	if err != nil {
+		return Result{}, err
+	}
+	chk := m.EnableCheck()
+	nv := t.NVars
+	if nv <= 0 {
+		nv = 1
+	}
+	h := &Harness{
+		M:    m,
+		V:    shm.NewU64(m.Heap, nv),
+		Lock: psync.NewLock(m),
+		Spin: psync.NewSpinLock(m, 0),
+		Bar:  psync.NewBarrier(m),
+		Tree: psync.NewTreeBarrier(m),
+		Flag: psync.NewFlag(m),
+		Q:    psync.NewQueue(m, 64),
+		regs: make([]Regs, t.Procs),
+	}
+	for i := range h.regs {
+		h.regs[i] = make(Regs, t.NRegs)
+	}
+	m.Run("litmus/"+t.Name, func(e *machine.Env) {
+		t.Body(h, e, h.regs[e.ID()])
+	})
+	out := t.outcome(h)
+	events, _, _, _ := chk.Stats()
+	return Result{
+		Test:       t.Name,
+		Kind:       kind,
+		Outcome:    out,
+		Allowed:    t.judge(ClassOf(kind), out),
+		Violations: chk.Violations(),
+		Events:     events,
+	}, nil
+}
+
+// outcome renders the register files (and Final) as a stable string: all
+// registers in processor order, comma-separated.
+func (t Test) outcome(h *Harness) string {
+	var parts []string
+	for _, r := range h.regs {
+		for _, v := range r {
+			parts = append(parts, fmt.Sprint(v))
+		}
+	}
+	if t.Final != nil {
+		parts = append(parts, t.Final(h))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t Test) judge(c Class, out string) bool {
+	for _, f := range t.Forbidden[c] {
+		if f == out {
+			return false
+		}
+	}
+	allowed := t.Allowed[c]
+	if len(allowed) == 0 {
+		return true
+	}
+	for _, a := range allowed {
+		if a == out {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSuite runs every litmus test on every given memory system.
+func RunSuite(kinds []memsys.Kind, base memsys.Params) ([]Result, error) {
+	var out []Result
+	for _, t := range Tests() {
+		for _, kind := range kinds {
+			r, err := RunTest(t, kind, base)
+			if err != nil {
+				return out, fmt.Errorf("litmus %s on %s: %w", t.Name, kind, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Report renders results as a test × system table of outcomes, marking
+// model violations with '!' and checker violations with 'X'.
+func Report(rs []Result) string {
+	kinds := []memsys.Kind{}
+	seen := map[memsys.Kind]bool{}
+	byTest := map[string]map[memsys.Kind]Result{}
+	order := []string{}
+	for _, r := range rs {
+		if !seen[r.Kind] {
+			seen[r.Kind] = true
+			kinds = append(kinds, r.Kind)
+		}
+		if byTest[r.Test] == nil {
+			byTest[r.Test] = map[memsys.Kind]Result{}
+			order = append(order, r.Test)
+		}
+		byTest[r.Test][r.Kind] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "litmus")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %-12s", k)
+	}
+	b.WriteByte('\n')
+	bad := 0
+	for _, name := range order {
+		fmt.Fprintf(&b, "%-16s", name)
+		for _, k := range kinds {
+			r := byTest[name][k]
+			cell := r.Outcome
+			if !r.Allowed {
+				cell += "!"
+			}
+			if len(r.Violations) > 0 {
+				cell += "X"
+			}
+			if !r.Ok() {
+				bad++
+			}
+			fmt.Fprintf(&b, " %-12s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d executions, %d non-conformant\n", len(rs), bad)
+	for _, r := range rs {
+		if !r.Allowed {
+			fmt.Fprintf(&b, "MODEL %s/%s: outcome %q outside the %s expectation table\n", r.Test, r.Kind, r.Outcome, ClassOf(r.Kind))
+		}
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "CHECK %s/%s: %s\n", r.Test, r.Kind, v)
+		}
+	}
+	return b.String()
+}
+
+// Ok reports whether every result is conformant.
+func Ok(rs []Result) bool {
+	for _, r := range rs {
+		if !r.Ok() {
+			return false
+		}
+	}
+	return true
+}

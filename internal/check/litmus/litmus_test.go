@@ -1,0 +1,138 @@
+package litmus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/psync"
+	"zsim/internal/shm"
+)
+
+// TestSuiteConformsOnAllSystems runs every litmus test on every memory
+// system: outcomes must be within the model's expectation table and the
+// conformance checker must stay silent.
+func TestSuiteConformsOnAllSystems(t *testing.T) {
+	rs, err := RunSuite(memsys.Kinds(), memsys.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Allowed {
+			t.Errorf("%s/%s: outcome %q outside the %s expectation table", r.Test, r.Kind, r.Outcome, ClassOf(r.Kind))
+		}
+		for _, v := range r.Violations {
+			t.Errorf("%s/%s: checker violation: %s", r.Test, r.Kind, v)
+		}
+		if r.Events == 0 {
+			t.Errorf("%s/%s: checker observed no events", r.Test, r.Kind)
+		}
+	}
+}
+
+// TestGoldenOutcomes pins the exact deterministic outcome of every (test,
+// system) pair. Regenerate with ZSIM_UPDATE_LITMUS=1 go test ./internal/check/litmus
+// after an intentional timing or protocol change, and review the diff.
+func TestGoldenOutcomes(t *testing.T) {
+	rs, err := RunSuite(memsys.Kinds(), memsys.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s %s %s\n", r.Test, r.Kind, r.Outcome)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "golden_outcomes.txt")
+	if os.Getenv("ZSIM_UPDATE_LITMUS") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with ZSIM_UPDATE_LITMUS=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("litmus outcomes diverged from golden file %s.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestRandomProgramsConform runs seeded random programs across all systems
+// with the checker as oracle.
+func TestRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rt := RandomTest(seed)
+		for _, kind := range memsys.Kinds() {
+			r, err := RunTest(rt, kind, memsys.Default(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Allowed {
+				t.Errorf("%s/%s: locked counter outcome %q (expected %v)", rt.Name, kind, r.Outcome, rt.Allowed[SC])
+			}
+			for _, v := range r.Violations {
+				t.Errorf("%s/%s: %s", rt.Name, kind, v)
+			}
+		}
+	}
+}
+
+// TestCheckerDetectsSeededStaleRead proves the checker end-to-end: with the
+// drop-update fault seeded into an update protocol, a sharer keeps reading a
+// copy the fan-out skipped, and the checker must flag it; the same run
+// without the fault must be clean. drop-inval gets the same treatment on the
+// invalidate protocol.
+func TestCheckerDetectsSeededStaleRead(t *testing.T) {
+	// Both processors cache x, then P0 rewrites it (fanning out an update or
+	// invalidations at the release), then P1 re-reads its copy.
+	run := func(kind memsys.Kind, fault string) *machine.Machine {
+		p := memsys.Default(2)
+		p.FaultInjection = fault
+		m := machine.MustNew(kind, p)
+		m.EnableCheck()
+		x := shm.NewU64(m.Heap, 1)
+		bar := psync.NewBarrier(m)
+		m.Run("stale-probe", func(e *machine.Env) {
+			x.Get(e, 0) // both cache the line
+			bar.Wait(e)
+			if e.ID() == 0 {
+				x.Set(e, 0, 7)
+			}
+			bar.Wait(e) // arrival is a release: the write txn happens here at the latest
+			if e.ID() == 1 {
+				for i := 0; i < 4; i++ {
+					x.Get(e, 0)
+					e.Compute(10)
+				}
+			}
+		})
+		return m
+	}
+	for _, tc := range []struct {
+		kind  memsys.Kind
+		fault string
+	}{
+		{memsys.KindRCUpd, "drop-update"},
+		{memsys.KindRCComp, "drop-update"},
+		{memsys.KindRCAdapt, "drop-update"},
+		{memsys.KindRCInv, "drop-inval"},
+	} {
+		clean := run(tc.kind, "")
+		if err := clean.Checker().Err(); err != nil {
+			t.Errorf("%s without fault: unexpected violation: %v", tc.kind, err)
+		}
+		faulty := run(tc.kind, tc.fault)
+		if faulty.Checker().Ok() {
+			t.Errorf("%s with %s: checker missed the seeded defect", tc.kind, tc.fault)
+		}
+	}
+}

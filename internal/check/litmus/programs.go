@@ -1,0 +1,406 @@
+package litmus
+
+import (
+	"fmt"
+
+	"zsim/internal/machine"
+)
+
+// Tests returns the litmus suite in a fixed order. Outcome strings list
+// every processor's registers in processor order (unused registers read 0),
+// followed by the Final observation when the test has one.
+//
+// Because the simulator serializes shared accesses into one deterministic
+// global schedule, observed values are always those of some interleaving —
+// the "relaxed" outcomes of the RC tables cannot actually appear as values.
+// The tables still document the model contract (SC tables are strict
+// subsets), and the real teeth are the conformance checker riding along plus
+// the golden outcome pins in the package tests.
+func Tests() []Test {
+	return []Test{
+		mpFlag(), mpRaw(), sb(), lb(), iriw(), corr(), coww(),
+		lockCount(), spinCount(), lockHandoff(), barMP(), barReuse(),
+		treeReuse(), flagReuse(), queueFIFO(), swapMutex(),
+	}
+}
+
+// Names returns the suite's test names in order.
+func Names() []string {
+	ts := Tests()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// mp-flag: classic message passing through a producer-consumer flag. The
+// consumer must observe the datum after the flag; every model guarantees it
+// (the flag's set is a release, the wait an acquire).
+func mpFlag() Test {
+	return Test{
+		Name: "mp-flag", Procs: 2, NRegs: 1, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+				h.Flag.Set(e)
+			} else {
+				h.Flag.Wait(e)
+				r[0] = h.V.Get(e, 0)
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,1"}, RC: {"0,1"}, Z: {"0,1"},
+		},
+	}
+}
+
+// mp-raw: message passing through raw shared variables, no synchronization.
+// SC forbids observing the flag (x1) without the datum (x0); RC and the
+// z-machine permit it for this racy program.
+func mpRaw() Test {
+	return Test{
+		Name: "mp-raw", Procs: 2, NRegs: 2, NVars: 2,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+				h.V.Set(e, 1, 1)
+			} else {
+				e.Compute(8)
+				r[0] = h.V.Get(e, 1)
+				r[1] = h.V.Get(e, 0)
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,0,0,0", "0,0,0,1", "0,0,1,1"},
+			RC: {"0,0,0,0", "0,0,0,1", "0,0,1,1", "0,0,1,0"},
+			Z:  {"0,0,0,0", "0,0,0,1", "0,0,1,1", "0,0,1,0"},
+		},
+	}
+}
+
+// sb: store buffering (Dekker). SC forbids both processors reading 0; the
+// store-buffered RC systems (and the z-machine's oracle) allow it.
+func sb() Test {
+	return Test{
+		Name: "sb", Procs: 2, NRegs: 1, NVars: 2,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			id := e.ID()
+			h.V.Set(e, id, 1)
+			r[0] = h.V.Get(e, 1-id)
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,1", "1,0", "1,1"},
+			RC: {"0,0", "0,1", "1,0", "1,1"},
+			Z:  {"0,0", "0,1", "1,0", "1,1"},
+		},
+	}
+}
+
+// lb: load buffering. No system may produce 1,1 — values cannot appear out
+// of thin air.
+func lb() Test {
+	return Test{
+		Name: "lb", Procs: 2, NRegs: 1, NVars: 2,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			id := e.ID()
+			r[0] = h.V.Get(e, 1-id)
+			h.V.Set(e, id, 1)
+		},
+		Forbidden: map[Class][]string{
+			SC: {"1,1"}, RC: {"1,1"}, Z: {"1,1"},
+		},
+	}
+}
+
+// iriw: independent reads of independent writes. SC requires the two
+// readers to agree on the order of the two writes.
+func iriw() Test {
+	return Test{
+		Name: "iriw", Procs: 4, NRegs: 2, NVars: 2,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			switch e.ID() {
+			case 0:
+				h.V.Set(e, 0, 1)
+			case 1:
+				h.V.Set(e, 1, 1)
+			case 2:
+				r[0] = h.V.Get(e, 0)
+				r[1] = h.V.Get(e, 1)
+			case 3:
+				r[0] = h.V.Get(e, 1)
+				r[1] = h.V.Get(e, 0)
+			}
+		},
+		Forbidden: map[Class][]string{
+			SC: {"0,0,0,0,1,0,1,0"},
+		},
+	}
+}
+
+// corr: coherent read-read. Two reads of the same location by one processor
+// may never observe the location's writes out of order — cache coherence
+// guarantees this even under the weakest model.
+func corr() Test {
+	return Test{
+		Name: "corr", Procs: 2, NRegs: 2, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+				e.Compute(6)
+				h.V.Set(e, 0, 2)
+			} else {
+				r[0] = h.V.Get(e, 0)
+				e.Compute(5)
+				r[1] = h.V.Get(e, 0)
+			}
+		},
+		Forbidden: map[Class][]string{
+			SC: {"0,0,1,0", "0,0,2,0", "0,0,2,1"},
+			RC: {"0,0,1,0", "0,0,2,0", "0,0,2,1"},
+			Z:  {"0,0,1,0", "0,0,2,0", "0,0,2,1"},
+		},
+	}
+}
+
+// coww: write serialization. Concurrent writes to one location must
+// serialize; the final value is one of the last writes in some order.
+func coww() Test {
+	return Test{
+		Name: "coww", Procs: 2, NRegs: 0, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+				e.Compute(10)
+				h.V.Set(e, 0, 2)
+			} else {
+				h.V.Set(e, 0, 3)
+			}
+		},
+		Final: func(h *Harness) string { return fmt.Sprint(h.M.PeekU64(h.V.At(0))) },
+		Allowed: map[Class][]string{
+			SC: {"2", "3"}, RC: {"2", "3"}, Z: {"2", "3"},
+		},
+	}
+}
+
+// lock-count: the classic mutual-exclusion counter through the hardware
+// queue lock. Any model must produce exactly procs×iters increments.
+func lockCount() Test {
+	const iters = 8
+	return Test{
+		Name: "lock-count", Procs: 4, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			for i := 0; i < iters; i++ {
+				h.Lock.Acquire(e)
+				h.V.Set(e, 0, h.V.Get(e, 0)+1)
+				h.Lock.Release(e)
+			}
+		},
+		Final: func(h *Harness) string { return fmt.Sprint(h.M.PeekU64(h.V.At(0))) },
+		Allowed: map[Class][]string{
+			SC: {"32"}, RC: {"32"}, Z: {"32"},
+		},
+	}
+}
+
+// spin-count: the same counter through the software test-and-test-and-set
+// spin lock, whose coherence traffic is the protocols' stress case.
+func spinCount() Test {
+	const iters = 4
+	return Test{
+		Name: "spin-count", Procs: 4, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			for i := 0; i < iters; i++ {
+				h.Spin.Acquire(e)
+				h.V.Set(e, 0, h.V.Get(e, 0)+1)
+				h.Spin.Release(e)
+			}
+		},
+		Final: func(h *Harness) string { return fmt.Sprint(h.M.PeekU64(h.V.At(0))) },
+		Allowed: map[Class][]string{
+			SC: {"16"}, RC: {"16"}, Z: {"16"},
+		},
+	}
+}
+
+// lock-handoff: message passing where both sides bracket the datum with the
+// lock. Properly synchronized, so every model must deliver the datum.
+func lockHandoff() Test {
+	return Test{
+		Name: "lock-handoff", Procs: 2, NRegs: 1, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.Lock.Acquire(e)
+				h.V.Set(e, 0, 1)
+				h.Lock.Release(e)
+			} else {
+				for {
+					h.Lock.Acquire(e)
+					v := h.V.Get(e, 0)
+					h.Lock.Release(e)
+					if v == 1 {
+						r[0] = v
+						return
+					}
+					e.Compute(50)
+				}
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,1"}, RC: {"0,1"}, Z: {"0,1"},
+		},
+	}
+}
+
+// bar-mp: message passing through a barrier.
+func barMP() Test {
+	return Test{
+		Name: "bar-mp", Procs: 2, NRegs: 1, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+			}
+			h.Bar.Wait(e)
+			if e.ID() == 1 {
+				r[0] = h.V.Get(e, 0)
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,1"}, RC: {"0,1"}, Z: {"0,1"},
+		},
+	}
+}
+
+// bar-reuse: three epochs over one centralized barrier; each processor
+// checks its neighbour's previous-epoch write. Catches epoch misalignment
+// and premature release.
+func barReuse() Test {
+	return phasedBarrierTest("bar-reuse", func(h *Harness) func(e *machine.Env) {
+		return func(e *machine.Env) { h.Bar.Wait(e) }
+	})
+}
+
+// tree-reuse: the same three-epoch neighbour check over the combining-tree
+// barrier.
+func treeReuse() Test {
+	return phasedBarrierTest("tree-reuse", func(h *Harness) func(e *machine.Env) {
+		return func(e *machine.Env) { h.Tree.Wait(e) }
+	})
+}
+
+func phasedBarrierTest(name string, wait func(h *Harness) func(e *machine.Env)) Test {
+	const procs, epochs = 4, 3
+	return Test{
+		Name: name, Procs: procs, NRegs: 1, NVars: procs,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			w := wait(h)
+			id := e.ID()
+			ok := uint64(0)
+			for k := uint64(1); k <= epochs; k++ {
+				h.V.Set(e, id, k*10+uint64(id))
+				w(e)
+				if h.V.Get(e, (id+1)%procs) == k*10+uint64((id+1)%procs) {
+					ok++
+				}
+				w(e)
+			}
+			r[0] = ok
+		},
+		Allowed: map[Class][]string{
+			SC: {"3,3,3,3"}, RC: {"3,3,3,3"}, Z: {"3,3,3,3"},
+		},
+	}
+}
+
+// flag-reuse: the flag is reset between two message-passing phases (with
+// barriers fencing the reset); both deliveries must be seen.
+func flagReuse() Test {
+	return Test{
+		Name: "flag-reuse", Procs: 2, NRegs: 2, NVars: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				h.V.Set(e, 0, 1)
+				h.Flag.Set(e)
+				h.Bar.Wait(e)
+				h.Flag.Reset()
+				h.Bar.Wait(e)
+				h.V.Set(e, 0, 2)
+				h.Flag.Set(e)
+			} else {
+				h.Flag.Wait(e)
+				r[0] = h.V.Get(e, 0)
+				h.Bar.Wait(e)
+				h.Bar.Wait(e)
+				h.Flag.Wait(e)
+				r[1] = h.V.Get(e, 0)
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,0,1,2"}, RC: {"0,0,1,2"}, Z: {"0,0,1,2"},
+		},
+	}
+}
+
+// queue-fifo: the lock-protected work queue must deliver items in order.
+func queueFIFO() Test {
+	const items = 8
+	return Test{
+		Name: "queue-fifo", Procs: 2, NRegs: 1,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			if e.ID() == 0 {
+				for v := int64(1); v <= items; v++ {
+					for !h.Q.Push(e, v) {
+						e.Compute(20)
+					}
+				}
+			} else {
+				want := int64(1)
+				ok := uint64(1)
+				for n := 0; n < items; {
+					v, got := h.Q.TryPop(e)
+					if !got {
+						e.Compute(20)
+						continue
+					}
+					if v != want {
+						ok = 0
+					}
+					want++
+					n++
+				}
+				r[0] = ok
+			}
+		},
+		Allowed: map[Class][]string{
+			SC: {"0,1"}, RC: {"0,1"}, Z: {"0,1"},
+		},
+	}
+}
+
+// swap-mutex: mutual exclusion from the raw atomic-exchange primitive with
+// explicit acquire/release points — the hardware path the SpinLock wraps.
+func swapMutex() Test {
+	const iters = 4
+	return Test{
+		Name: "swap-mutex", Procs: 2, NVars: 2,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			for i := 0; i < iters; i++ {
+				for e.AtomicSwapU64(h.V.At(0), 1) != 0 {
+					e.Compute(16)
+				}
+				e.AcquirePoint()
+				h.V.Set(e, 1, h.V.Get(e, 1)+1)
+				e.ReleasePoint()
+				if wm := e.ReleaseWatermark(); wm > e.Clock() {
+					e.AdvanceTo(wm) // rcsync: writes must land before the unlock
+				}
+				e.StoreU64(h.V.At(0), 0)
+			}
+		},
+		Final: func(h *Harness) string { return fmt.Sprint(h.M.PeekU64(h.V.At(1))) },
+		Allowed: map[Class][]string{
+			SC: {"8"}, RC: {"8"}, Z: {"8"},
+		},
+	}
+}

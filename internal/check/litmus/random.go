@@ -1,0 +1,92 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zsim/internal/machine"
+)
+
+// randOp is one step of a generated program.
+type randOp struct {
+	kind int // 0 write, 1 read, 2 compute, 3 locked increment, 4 spin-locked increment
+	a    int // variable index / compute cycles
+	v    uint64
+}
+
+// RandomTest builds a seeded random litmus program: per-processor streams of
+// shared reads and writes over a small variable set, local computation, and
+// lock-protected counter increments, with aligned barrier phases between
+// randomly sized op blocks. The op streams are pre-generated so the body is
+// deterministic; the conformance checker is the oracle, and the
+// lock-protected counter total is additionally pinned in the outcome.
+//
+// Variables 0 and 1 are reserved for the two counters (queue-lock-protected
+// and spin-lock-protected — they must be distinct, since the two locks give
+// no mutual exclusion against each other); the racy traffic uses the rest.
+func RandomTest(seed int64) Test {
+	rng := rand.New(rand.NewSource(seed))
+	procs := 2 + rng.Intn(3)  // 2..4
+	vars := 4 + rng.Intn(5)   // 4..8, indexes 0 and 1 reserved
+	phases := 1 + rng.Intn(3) // barrier-fenced blocks
+	progs := make([][][]randOp, procs)
+	var lockIncs, spinIncs uint64
+	for p := 0; p < procs; p++ {
+		progs[p] = make([][]randOp, phases)
+		for ph := 0; ph < phases; ph++ {
+			steps := 5 + rng.Intn(25)
+			ops := make([]randOp, 0, steps)
+			for s := 0; s < steps; s++ {
+				switch k := rng.Intn(8); k {
+				case 0, 1, 2: // read
+					ops = append(ops, randOp{kind: 1, a: 2 + rng.Intn(vars-2)})
+				case 3, 4: // write
+					ops = append(ops, randOp{kind: 0, a: 2 + rng.Intn(vars-2), v: uint64(1 + rng.Intn(1000))})
+				case 5: // compute
+					ops = append(ops, randOp{kind: 2, a: 1 + rng.Intn(40)})
+				case 6: // locked increment
+					ops = append(ops, randOp{kind: 3})
+					lockIncs++
+				case 7: // spin-locked increment
+					ops = append(ops, randOp{kind: 4})
+					spinIncs++
+				}
+			}
+			progs[p][ph] = ops
+		}
+	}
+	return Test{
+		Name: fmt.Sprintf("rand-%d", seed), Procs: procs, NVars: vars,
+		Body: func(h *Harness, e *machine.Env, r Regs) {
+			for ph := 0; ph < phases; ph++ {
+				for _, op := range progs[e.ID()][ph] {
+					switch op.kind {
+					case 0:
+						h.V.Set(e, op.a, op.v)
+					case 1:
+						h.V.Get(e, op.a)
+					case 2:
+						e.Compute(machine.Time(op.a))
+					case 3:
+						h.Lock.Acquire(e)
+						h.V.Set(e, 0, h.V.Get(e, 0)+1)
+						h.Lock.Release(e)
+					case 4:
+						h.Spin.Acquire(e)
+						h.V.Set(e, 1, h.V.Get(e, 1)+1)
+						h.Spin.Release(e)
+					}
+				}
+				h.Bar.Wait(e)
+			}
+		},
+		Final: func(h *Harness) string {
+			return fmt.Sprintf("%d/%d", h.M.PeekU64(h.V.At(0)), h.M.PeekU64(h.V.At(1)))
+		},
+		Allowed: map[Class][]string{
+			SC: {fmt.Sprintf("%d/%d", lockIncs, spinIncs)},
+			RC: {fmt.Sprintf("%d/%d", lockIncs, spinIncs)},
+			Z:  {fmt.Sprintf("%d/%d", lockIncs, spinIncs)},
+		},
+	}
+}
