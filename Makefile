@@ -1,0 +1,32 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+GO ?= go
+
+.PHONY: all build test race vet litmus conformance bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The litmus suite: every litmus program on every memory system with the
+# conformance checker attached; nonzero exit on any non-conformance.
+litmus:
+	$(GO) run ./cmd/zsim -litmus
+
+# Every application on every memory system under the conformance checker.
+conformance:
+	$(GO) run ./cmd/paperbench -conformance
+
+bench:
+	$(GO) test -bench . -benchmem
+
+check: vet build race litmus

@@ -2,6 +2,8 @@ package zsim
 
 import (
 	"zsim/internal/apps"
+	"zsim/internal/check"
+	"zsim/internal/check/litmus"
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
 	"zsim/internal/psync"
@@ -56,6 +58,14 @@ type (
 	Counter = psync.Counter
 	// Queue is a simulated lock-protected shared work queue.
 	Queue = psync.Queue
+
+	// Checker is the runtime memory-consistency conformance checker (see
+	// Machine.EnableCheck).
+	Checker = check.Checker
+	// LitmusTest is one litmus program plus its expected-outcome tables.
+	LitmusTest = litmus.Test
+	// LitmusResult is one judged (litmus test, memory system) execution.
+	LitmusResult = litmus.Result
 
 	// Trace is the machine's event recorder (see Machine.EnableTrace).
 	Trace = trace.Recorder
@@ -256,6 +266,35 @@ func EvaluateClaims(scale Scale, p Params) (*Table, bool, error) {
 
 // FindExperiment looks an experiment up by ID ("E1".."E20").
 func FindExperiment(id string) (Experiment, error) { return workload.FindExperiment(id) }
+
+// LitmusTests returns the hand-written litmus programs in suite order.
+func LitmusTests() []LitmusTest { return litmus.Tests() }
+
+// RandomLitmus generates a seeded random litmus program (deterministic per
+// seed; the conformance checker is its oracle).
+func RandomLitmus(seed int64) LitmusTest { return litmus.RandomTest(seed) }
+
+// RunLitmus executes one litmus test on one memory system with the
+// conformance checker attached.
+func RunLitmus(t LitmusTest, kind Kind, p Params) (LitmusResult, error) {
+	return litmus.RunTest(t, kind, p)
+}
+
+// RunLitmusSuite runs every litmus test on every given memory system.
+func RunLitmusSuite(kinds []Kind, p Params) ([]LitmusResult, error) {
+	return litmus.RunSuite(kinds, p)
+}
+
+// LitmusReport renders litmus results as a test × system outcome table,
+// marking model violations with '!' and checker violations with 'X'.
+func LitmusReport(rs []LitmusResult) string { return litmus.Report(rs) }
+
+// LitmusOk reports whether every litmus result is conformant.
+func LitmusOk(rs []LitmusResult) bool { return litmus.Ok(rs) }
+
+// ConformanceSweep runs every application on every memory system with the
+// conformance checker attached and tabulates the verdicts.
+var ConformanceSweep = workload.ConformanceSweep
 
 // RunAppOn executes a custom application on a caller-constructed machine
 // (use this instead of RunApp when you need machine-level features such as

@@ -361,6 +361,56 @@ func BenchmarkAblationLineSize(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckerOverhead measures the cost of running with the
+// conformance checker attached against the plain run (acceptance budget:
+// ≤2× slowdown). The checked/unchecked wall-time ratio is reported as a
+// metric; compare with
+//
+//	go test -bench 'CheckerOverhead' -benchtime 5x
+func BenchmarkCheckerOverhead(b *testing.B) {
+	params := DefaultParams(16)
+	run := func(b *testing.B, checked bool) {
+		for i := 0; i < b.N; i++ {
+			app, err := NewBenchmark("is", benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := NewMachine(RCInv, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if checked {
+				m.EnableCheck()
+			}
+			if _, err := RunAppOn(app, m); err != nil {
+				b.Fatal(err)
+			}
+			if checked {
+				if err := m.Checker().Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("unchecked", func(b *testing.B) { run(b, false) })
+	b.Run("checked", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkLitmusSuite runs the full litmus suite (every test on every
+// memory system, checker attached).
+func BenchmarkLitmusSuite(b *testing.B) {
+	params := DefaultParams(4)
+	for i := 0; i < b.N; i++ {
+		rs, err := RunLitmusSuite(Kinds(), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !LitmusOk(rs) {
+			b.Fatalf("litmus suite not conformant:\n%s", LitmusReport(rs))
+		}
+	}
+}
+
 // BenchmarkAblationOracle regenerates E20: the z-machine's broadcast
 // counter vs the perfect per-consumer oracle.
 func BenchmarkAblationOracle(b *testing.B) {

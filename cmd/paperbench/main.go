@@ -38,6 +38,7 @@ func main() {
 		list   = flag.Bool("list", false, "list the experiment index and exit")
 		claims = flag.Bool("claims", false, "machine-check the paper's claims and print the verdicts")
 		matrix = flag.Bool("matrix", false, "print the overhead%% matrix: every app on every system")
+		conf   = flag.Bool("conformance", false, "run every app on every system with the conformance checker")
 	)
 	flag.Parse()
 
@@ -78,6 +79,13 @@ func main() {
 	}
 
 	switch {
+	case *conf:
+		t, pass, err := zsim.ConformanceSweep(sc, params)
+		check(err)
+		emitTable(t)
+		if !pass {
+			os.Exit(1)
+		}
 	case *matrix:
 		t, err := zsim.SummaryMatrix(sc, params)
 		check(err)

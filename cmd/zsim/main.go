@@ -6,6 +6,8 @@
 //	zsim -app is -system rcinv -procs 16 -scale small
 //	zsim -app cholesky -system zmc -scale paper
 //	zsim -app nbody -all            # all five figure systems
+//	zsim -litmus                    # litmus suite on every memory system
+//	zsim -app is -system rcinv -check   # run with the conformance checker
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 		threads = flag.Int("threads", 1, "hardware threads per node (procs must be divisible)")
 		pfile   = flag.String("params", "", "JSON parameter file (overrides the other machine flags)")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
+		litmus  = flag.Bool("litmus", false, "run the litmus suite on every memory system and exit")
+		chkFlag = flag.Bool("check", false, "attach the memory-consistency conformance checker")
 	)
 	flag.Parse()
 
@@ -50,6 +54,18 @@ func main() {
 		}
 	}
 	sc := zsim.Scale(*scale)
+
+	if *litmus {
+		rs, err := zsim.RunLitmusSuite(zsim.Kinds(), params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(zsim.LitmusReport(rs))
+		if !zsim.LitmusOk(rs) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *all {
 		fig := &zsim.Figure{Title: fmt.Sprintf("%s (%s scale, %d processors)", *app, sc, *procs)}
@@ -75,6 +91,10 @@ func main() {
 	var rec *zsim.Trace
 	if *traceN > 0 {
 		rec = m.EnableTrace(*traceN)
+	}
+	var chk *zsim.Checker
+	if *chkFlag {
+		chk = m.EnableCheck()
 	}
 	res, err := zsim.RunAppOn(bench, m)
 	if err != nil {
@@ -108,6 +128,18 @@ func main() {
 		fmt.Printf("%4s %12s %12s %12s %12s %12s\n", "proc", "compute", "read-stall", "write-stall", "buf-flush", "sync-wait")
 		for i, p := range res.Procs {
 			fmt.Printf("%4d %12d %12d %12d %12d %12d\n", i, p.Compute, p.ReadStall, p.WriteStall, p.BufferFlush, p.SyncWait)
+		}
+	}
+	if chk != nil {
+		events, reads, writes, audits := chk.Stats()
+		fmt.Printf("\nconformance:   %d events validated (%d reads, %d writes, %d audits)\n", events, reads, writes, audits)
+		if chk.Ok() {
+			fmt.Println("conformance:   ok")
+		} else {
+			for _, v := range chk.Violations() {
+				fmt.Println("conformance:   VIOLATION:", v)
+			}
+			fatal(chk.Err())
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package zsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConformanceSweep runs every application on every memory system at
+// small scale with the runtime conformance checker attached: shadow-memory
+// read validation, directory/cache audits, and synchronization invariants
+// must all hold on every execution.
+func TestConformanceSweep(t *testing.T) {
+	table, pass, err := ConformanceSweep(ScaleSmall, DefaultParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatalf("conformance sweep found violations:\n%s", table.Render())
+	}
+	if len(table.Rows) != len(Benchmarks()) {
+		t.Fatalf("sweep covered %d apps, want %d", len(table.Rows), len(Benchmarks()))
+	}
+}
+
+// TestCheckedRunMatchesUnchecked verifies the checker is an observer: the
+// simulated result with the checker attached is identical to the result
+// without it.
+func TestCheckedRunMatchesUnchecked(t *testing.T) {
+	params := DefaultParams(8)
+	plain, err := RunBenchmark("is", ScaleSmall, RCInv, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewBenchmark("is", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(RCInv, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := m.EnableCheck()
+	checked, err := RunAppOn(app, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExecTime != checked.ExecTime {
+		t.Fatalf("checker perturbed the simulation: exec %d with checker vs %d without", checked.ExecTime, plain.ExecTime)
+	}
+}
+
+// TestLitmusSuitePublicAPI runs the full litmus suite through the public
+// API: every (test, system) pair must be conformant and the report must say
+// so.
+func TestLitmusSuitePublicAPI(t *testing.T) {
+	rs, err := RunLitmusSuite(Kinds(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !LitmusOk(rs) {
+		t.Fatalf("litmus suite not conformant:\n%s", LitmusReport(rs))
+	}
+	if want := len(LitmusTests()) * len(Kinds()); len(rs) != want {
+		t.Fatalf("suite ran %d executions, want %d", len(rs), want)
+	}
+	if rep := LitmusReport(rs); !strings.Contains(rep, "0 non-conformant") {
+		t.Fatalf("report does not state conformance:\n%s", rep)
+	}
+}
+
+// TestRandomLitmusPublicAPI exercises the generator through the public API.
+func TestRandomLitmusPublicAPI(t *testing.T) {
+	rt := RandomLitmus(2026)
+	r, err := RunLitmus(rt, RCSync, DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok() {
+		t.Fatalf("%s/%s: outcome %q, violations %v", r.Test, r.Kind, r.Outcome, r.Violations)
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+
+	"zsim/internal/apps"
+	"zsim/internal/machine"
+	"zsim/internal/memsys"
+	"zsim/internal/stats"
+)
+
+// ConformanceSweep runs every application on every memory system with the
+// runtime conformance checker attached (Machine.EnableCheck) and tabulates
+// the verdicts: events validated per run, and any invariant violations. The
+// returned flag is true when every execution was clean. Output verification
+// failures (a wrong answer) are returned as errors, not verdict cells.
+func ConformanceSweep(scale Scale, p memsys.Params) (*stats.Table, bool, error) {
+	kinds := memsys.Kinds()
+	head := []string{"app \\ system"}
+	for _, k := range kinds {
+		head = append(head, string(k))
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Conformance-checker verdicts (%s scale, %d processors)", scale, p.Procs),
+		Head:  head,
+	}
+	pass := true
+	for _, name := range AppNames() {
+		row := []string{name}
+		for _, kind := range kinds {
+			app, err := NewApp(name, scale)
+			if err != nil {
+				return nil, false, err
+			}
+			m, err := machine.New(kind, p)
+			if err != nil {
+				return nil, false, err
+			}
+			chk := m.EnableCheck()
+			if _, err := apps.Run(app, m); err != nil {
+				return nil, false, fmt.Errorf("workload: %s on %s failed verification: %w", name, kind, err)
+			}
+			events, _, _, _ := chk.Stats()
+			if chk.Ok() {
+				row = append(row, fmt.Sprintf("ok (%d ev)", events))
+			} else {
+				pass = false
+				row = append(row, fmt.Sprintf("FAIL (%d violations)", chk.NumViolations()))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, pass, nil
+}
+
+// ConformanceViolations runs one application on one memory system with the
+// checker attached and returns the retained violation descriptions (nil when
+// the run conformed).
+func ConformanceViolations(name string, scale Scale, kind memsys.Kind, p memsys.Params) ([]string, error) {
+	app, err := NewApp(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(kind, p)
+	if err != nil {
+		return nil, err
+	}
+	chk := m.EnableCheck()
+	if _, err := apps.Run(app, m); err != nil {
+		return nil, fmt.Errorf("workload: %s on %s failed verification: %w", name, kind, err)
+	}
+	return chk.Violations(), nil
+}
