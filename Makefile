@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build test race vet litmus conformance bench check
+.PHONY: all build test race vet litmus conformance bench bench-all check
 
 all: check
 
@@ -26,7 +26,17 @@ litmus:
 conformance:
 	$(GO) run ./cmd/paperbench -conformance
 
+# The perf-trajectory benchmarks: the kernel hot loop (fast-path Sync cost
+# vs the channel-handoff worst case) and the grid benchmarks (litmus suite
+# and full figure matrix at increasing worker-pool bounds), then the full
+# regeneration's timing/throughput record.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineHotLoop|BenchmarkSyncRoundtrip' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench 'BenchmarkLitmusSuite|BenchmarkFigureGrid' -benchmem .
+	$(GO) run ./cmd/paperbench -bench-json BENCH_baseline.json > /dev/null
+
+# Every benchmark in the repository (slow).
+bench-all:
 	$(GO) test -bench . -benchmem
 
 check: vet build race litmus

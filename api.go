@@ -7,6 +7,7 @@ import (
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
 	"zsim/internal/psync"
+	"zsim/internal/runner"
 	"zsim/internal/shm"
 	"zsim/internal/stats"
 	"zsim/internal/trace"
@@ -301,4 +302,24 @@ var ConformanceSweep = workload.ConformanceSweep
 // event tracing via Machine.EnableTrace).
 func RunAppOn(app App, m *Machine) (*Result, error) {
 	return apps.Run(app, m)
+}
+
+// SetParallelism bounds how many simulations the evaluation harness runs
+// concurrently (figures, tables, sweeps, the conformance sweep, and the
+// litmus suite all fan their independent cells onto a shared worker-pool
+// policy). It returns the previous bound; n < 1 selects GOMAXPROCS, 1 is
+// fully serial. Every cell builds its own Machine and results are collected
+// by cell index, so all rendered output is byte-identical at any setting.
+func SetParallelism(n int) int { return runner.SetParallelism(n) }
+
+// Parallelism returns the harness's current concurrency bound.
+func Parallelism() int { return runner.Parallelism() }
+
+// RunGrid executes n independent simulation cells on the harness's worker
+// pool and returns the results indexed by cell. The error (and any panic)
+// surfaced is the smallest-index one, and every cell runs even if another
+// fails, so the outcome is independent of the parallelism setting. Cells
+// must build their own machines.
+func RunGrid(n int, cell func(i int) (*Result, error)) ([]*Result, error) {
+	return runner.Grid(n, cell)
 }

@@ -13,6 +13,7 @@ package zsim
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 )
 
@@ -396,18 +397,76 @@ func BenchmarkCheckerOverhead(b *testing.B) {
 	b.Run("checked", func(b *testing.B) { run(b, true) })
 }
 
+// parallelLevels returns the worker bounds the grid benchmarks compare:
+// serial, the 2x-speedup acceptance point, and every host core.
+func parallelLevels() []int {
+	levels := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// withParallelism runs f with the harness worker bound set to n, restoring
+// the previous bound afterwards.
+func withParallelism(n int, f func()) {
+	prev := SetParallelism(n)
+	defer SetParallelism(prev)
+	f()
+}
+
 // BenchmarkLitmusSuite runs the full litmus suite (every test on every
-// memory system, checker attached).
+// memory system, checker attached) at increasing worker-pool bounds; the
+// sub-benchmark wall clocks expose the parallel runner's speedup (≥2x at
+// parallel=4 on a ≥4-core host; output is identical at every setting).
 func BenchmarkLitmusSuite(b *testing.B) {
 	params := DefaultParams(4)
-	for i := 0; i < b.N; i++ {
-		rs, err := RunLitmusSuite(Kinds(), params)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !LitmusOk(rs) {
-			b.Fatalf("litmus suite not conformant:\n%s", LitmusReport(rs))
-		}
+	for _, par := range parallelLevels() {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			withParallelism(par, func() {
+				for i := 0; i < b.N; i++ {
+					rs, err := RunLitmusSuite(Kinds(), params)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !LitmusOk(rs) {
+						b.Fatalf("litmus suite not conformant:\n%s", LitmusReport(rs))
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFigureGrid runs the paper's whole figure matrix — every figure
+// application on every figure memory system, 20 independent simulations —
+// through the worker pool at increasing bounds. This is the experiment
+// grid the parallel runner was built for: cells are deterministic and
+// independent, so wall clock should shrink near-linearly with cores while
+// the assembled figures stay byte-identical.
+func BenchmarkFigureGrid(b *testing.B) {
+	params := DefaultParams(16)
+	apps := Benchmarks()
+	kinds := FigureKinds()
+	n := len(apps) * len(kinds)
+	for _, par := range parallelLevels() {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			withParallelism(par, func() {
+				for i := 0; i < b.N; i++ {
+					results, err := RunGrid(n, func(c int) (*Result, error) {
+						return RunBenchmark(apps[c/len(kinds)], benchScale(), kinds[c%len(kinds)], params)
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(results) != n {
+						b.Fatalf("grid returned %d results, want %d", len(results), n)
+					}
+				}
+			})
+		})
 	}
 }
 

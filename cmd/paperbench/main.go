@@ -17,31 +17,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"zsim"
 )
 
 func main() {
 	var (
-		scale  = flag.String("scale", "small", "problem scale: small | paper")
-		procs  = flag.Int("procs", 16, "number of processors")
-		fig    = flag.Int("fig", 0, "regenerate only this figure (2-5)")
-		table  = flag.Int("table", 0, "regenerate only this table (1)")
-		csv    = flag.Bool("csv", false, "emit tables as CSV")
-		md     = flag.Bool("md", false, "emit tables as markdown")
-		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
-		expID  = flag.String("exp", "", "run a single experiment by ID (E1..E20)")
-		list   = flag.Bool("list", false, "list the experiment index and exit")
-		claims = flag.Bool("claims", false, "machine-check the paper's claims and print the verdicts")
-		matrix = flag.Bool("matrix", false, "print the overhead%% matrix: every app on every system")
-		conf   = flag.Bool("conformance", false, "run every app on every system with the conformance checker")
+		scale    = flag.String("scale", "small", "problem scale: small | paper")
+		procs    = flag.Int("procs", 16, "number of processors")
+		fig      = flag.Int("fig", 0, "regenerate only this figure (2-5)")
+		table    = flag.Int("table", 0, "regenerate only this table (1)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV")
+		md       = flag.Bool("md", false, "emit tables as markdown")
+		svgDir   = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		expID    = flag.String("exp", "", "run a single experiment by ID (E1..E20)")
+		list     = flag.Bool("list", false, "list the experiment index and exit")
+		claims   = flag.Bool("claims", false, "machine-check the paper's claims and print the verdicts")
+		matrix   = flag.Bool("matrix", false, "print the overhead%% matrix: every app on every system")
+		conf     = flag.Bool("conformance", false, "run every app on every system with the conformance checker")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently (1 = serial; output is identical at any setting)")
+		benchOut = flag.String("bench-json", "", "with the full regeneration: write a machine-readable timing/throughput record (BENCH_*.json) to this path")
 	)
 	flag.Parse()
 
+	zsim.SetParallelism(*parallel)
 	sc := zsim.Scale(*scale)
 	params := zsim.DefaultParams(*procs)
 	emitTable := func(t *zsim.Table) {
@@ -114,18 +120,70 @@ func main() {
 		emitTable(t)
 	default:
 		// The complete regeneration: every indexed experiment, then the
-		// machine-checked claim verdicts.
+		// machine-checked claim verdicts. With -bench-json, each phase is
+		// timed and the throughput record written for the perf trajectory.
+		rec := benchRecord{
+			Scale:      *scale,
+			Procs:      *procs,
+			Parallel:   *parallel,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		}
+		start := time.Now()
 		for _, e := range zsim.Experiments() {
 			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+			expStart := time.Now()
 			art, err := e.Run(sc, params)
 			check(err)
+			rec.Experiments = append(rec.Experiments, benchEntry{
+				ID: e.ID, Title: e.Title, WallMS: msSince(expStart),
+			})
 			emitArtifact(e.ID, art)
 		}
-		if !runClaims() {
+		claimsStart := time.Now()
+		ok := runClaims()
+		rec.ClaimsWallMS = msSince(claimsStart)
+		rec.TotalWallMS = msSince(start)
+		if rec.TotalWallMS > 0 {
+			rec.ExperimentsPerSec = float64(len(rec.Experiments)) / (rec.TotalWallMS / 1000)
+		}
+		if *benchOut != "" {
+			rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+			data, err := json.MarshalIndent(rec, "", "  ")
+			check(err)
+			check(os.WriteFile(*benchOut, append(data, '\n'), 0o644))
+			fmt.Printf("wrote %s (%d experiments, %.0f ms total, %.2f experiments/s at -parallel %d)\n",
+				*benchOut, len(rec.Experiments), rec.TotalWallMS, rec.ExperimentsPerSec, *parallel)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	}
 }
+
+// benchRecord is the machine-readable timing/throughput record emitted by
+// -bench-json; BENCH_*.json files form the perf trajectory across PRs.
+type benchRecord struct {
+	Timestamp         string       `json:"timestamp"`
+	Scale             string       `json:"scale"`
+	Procs             int          `json:"procs"`
+	Parallel          int          `json:"parallel"`
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	NumCPU            int          `json:"num_cpu"`
+	Experiments       []benchEntry `json:"experiments"`
+	ClaimsWallMS      float64      `json:"claims_wall_ms"`
+	TotalWallMS       float64      `json:"total_wall_ms"`
+	ExperimentsPerSec float64      `json:"experiments_per_sec"`
+}
+
+// benchEntry is one experiment's wall-clock timing.
+type benchEntry struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
 
 func check(err error) {
 	if err != nil {

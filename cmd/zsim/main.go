@@ -14,27 +14,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"zsim"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "is", "application: cholesky | is | maxflow | nbody | sor")
-		system  = flag.String("system", "rcinv", "memory system: zmc | pram | scinv | rcinv | rcupd | rccomp | rcadapt")
-		procs   = flag.Int("procs", 16, "number of processors")
-		scale   = flag.String("scale", "small", "problem scale: small | paper")
-		all     = flag.Bool("all", false, "run the five figure systems and print the comparison")
-		verbose = flag.Bool("v", false, "print per-processor breakdowns")
-		traceN  = flag.Int("trace", 0, "record the last N events and print the hottest cache lines")
-		topo    = flag.String("topology", "mesh", "interconnect: mesh | torus | hypercube | xbar | bus")
-		threads = flag.Int("threads", 1, "hardware threads per node (procs must be divisible)")
-		pfile   = flag.String("params", "", "JSON parameter file (overrides the other machine flags)")
-		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
-		litmus  = flag.Bool("litmus", false, "run the litmus suite on every memory system and exit")
-		chkFlag = flag.Bool("check", false, "attach the memory-consistency conformance checker")
+		app      = flag.String("app", "is", "application: cholesky | is | maxflow | nbody | sor")
+		system   = flag.String("system", "rcinv", "memory system: zmc | pram | scinv | rcinv | rcupd | rccomp | rcadapt")
+		procs    = flag.Int("procs", 16, "number of processors")
+		scale    = flag.String("scale", "small", "problem scale: small | paper")
+		all      = flag.Bool("all", false, "run the five figure systems and print the comparison")
+		verbose  = flag.Bool("v", false, "print per-processor breakdowns")
+		traceN   = flag.Int("trace", 0, "record the last N events and print the hottest cache lines")
+		topo     = flag.String("topology", "mesh", "interconnect: mesh | torus | hypercube | xbar | bus")
+		threads  = flag.Int("threads", 1, "hardware threads per node (procs must be divisible)")
+		pfile    = flag.String("params", "", "JSON parameter file (overrides the other machine flags)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		litmus   = flag.Bool("litmus", false, "run the litmus suite on every memory system and exit")
+		chkFlag  = flag.Bool("check", false, "attach the memory-consistency conformance checker")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently for -all and -litmus (1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
+	zsim.SetParallelism(*parallel)
 
 	var params zsim.Params
 	if *pfile != "" {
@@ -69,13 +72,14 @@ func main() {
 
 	if *all {
 		fig := &zsim.Figure{Title: fmt.Sprintf("%s (%s scale, %d processors)", *app, sc, *procs)}
-		for _, kind := range zsim.FigureKinds() {
-			res, err := zsim.RunBenchmark(*app, sc, kind, params)
-			if err != nil {
-				fatal(err)
-			}
-			fig.Results = append(fig.Results, res)
+		kinds := zsim.FigureKinds()
+		results, err := zsim.RunGrid(len(kinds), func(i int) (*zsim.Result, error) {
+			return zsim.RunBenchmark(*app, sc, kinds[i], params)
+		})
+		if err != nil {
+			fatal(err)
 		}
+		fig.Results = results
 		fmt.Print(fig.Render())
 		return
 	}

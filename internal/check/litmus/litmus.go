@@ -19,6 +19,7 @@ import (
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
 	"zsim/internal/psync"
+	"zsim/internal/runner"
 	"zsim/internal/shm"
 )
 
@@ -180,19 +181,20 @@ func (t Test) judge(c Class, out string) bool {
 	return false
 }
 
-// RunSuite runs every litmus test on every given memory system.
+// RunSuite runs every litmus test on every given memory system. The
+// (test, system) executions are independent — each builds its own machine —
+// so they run on the runner's worker pool; results are collected in the
+// serial order (tests outer, systems inner) regardless of the worker count.
 func RunSuite(kinds []memsys.Kind, base memsys.Params) ([]Result, error) {
-	var out []Result
-	for _, t := range Tests() {
-		for _, kind := range kinds {
-			r, err := RunTest(t, kind, base)
-			if err != nil {
-				return out, fmt.Errorf("litmus %s on %s: %w", t.Name, kind, err)
-			}
-			out = append(out, r)
+	tests := Tests()
+	return runner.Grid(len(tests)*len(kinds), func(i int) (Result, error) {
+		t, kind := tests[i/len(kinds)], kinds[i%len(kinds)]
+		r, err := RunTest(t, kind, base)
+		if err != nil {
+			return Result{}, fmt.Errorf("litmus %s on %s: %w", t.Name, kind, err)
 		}
-	}
-	return out, nil
+		return r, nil
+	})
 }
 
 // Report renders results as a test × system table of outcomes, marking

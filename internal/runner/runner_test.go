@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// withParallelism runs f with the pool bound set to n, restoring the
+// previous bound afterwards.
+func withParallelism(n int, f func()) {
+	prev := SetParallelism(n)
+	defer SetParallelism(prev)
+	f()
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(7)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 7 {
+		t.Fatalf("Parallelism() = %d, want 7", got)
+	}
+	if old := SetParallelism(0); old != 7 {
+		t.Fatalf("SetParallelism returned %d, want 7", old)
+	}
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("SetParallelism(0) left bound %d, want >= 1 (GOMAXPROCS)", got)
+	}
+}
+
+// TestGridCollectsByIndex checks results land at their cell index for both
+// the serial and the pooled path.
+func TestGridCollectsByIndex(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 64} {
+		par := par
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			withParallelism(par, func() {
+				got, err := Grid(100, func(i int) (int, error) { return i * i, nil })
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range got {
+					if v != i*i {
+						t.Fatalf("cell %d = %d, want %d", i, v, i*i)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestGridErrorDrainsPool injects an erroring cell and verifies the pool
+// drains cleanly (every other cell still runs, no deadlock) and that the
+// smallest-index error is the one surfaced, independent of worker count.
+func TestGridErrorDrainsPool(t *testing.T) {
+	bang7 := errors.New("cell 7 exploded")
+	bang3 := errors.New("cell 3 exploded")
+	for _, par := range []int{1, 4, 16} {
+		par := par
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			withParallelism(par, func() {
+				ran := make([]bool, 32)
+				_, err := Grid(32, func(i int) (int, error) {
+					ran[i] = true
+					switch i {
+					case 7:
+						return 0, bang7
+					case 3:
+						// The later-scheduled of the two errors under most
+						// interleavings, but the earlier index: it must win.
+						time.Sleep(time.Millisecond)
+						return 0, bang3
+					}
+					return i, nil
+				})
+				if !errors.Is(err, bang3) {
+					t.Fatalf("err = %v, want smallest-index error %v", err, bang3)
+				}
+				for i, r := range ran {
+					if !r {
+						t.Fatalf("cell %d never ran after another cell errored", i)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestGridPanicDrainsPool checks a panicking cell is re-raised in the
+// caller only after the pool has drained.
+func TestGridPanicDrainsPool(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			withParallelism(par, func() {
+				ran := make([]bool, 16)
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("expected the cell panic to propagate")
+					}
+					if fmt.Sprint(r) != "boom 5" {
+						t.Fatalf("recovered %v, want smallest-index panic \"boom 5\"", r)
+					}
+					for i, v := range ran {
+						if !v {
+							t.Fatalf("cell %d never ran after another cell panicked", i)
+						}
+					}
+				}()
+				Grid(16, func(i int) (int, error) {
+					ran[i] = true
+					if i == 5 || i == 11 {
+						panic(fmt.Sprintf("boom %d", i))
+					}
+					return i, nil
+				})
+			})
+		})
+	}
+}
+
+// TestGridZeroCells degenerate case.
+func TestGridZeroCells(t *testing.T) {
+	got, err := Grid(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Grid(0) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestGridDeterministicAcrossWorkerCounts runs the same grid at several
+// bounds and requires identical result slices.
+func TestGridDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(par int) []string {
+		var out []string
+		withParallelism(par, func() {
+			rs, err := Grid(50, func(i int) (string, error) {
+				return fmt.Sprintf("r%03d", i), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = rs
+		})
+		return out
+	}
+	want := run(1)
+	for _, par := range []int{2, 5, 32} {
+		got := run(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel=%d cell %d = %q, want %q", par, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -15,7 +15,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -72,18 +71,39 @@ type yieldMsg struct {
 // Sync immediately before every globally visible operation; between Sync
 // returning and the next yield no other processor runs, so the operation is
 // atomic at the processor's current clock.
+//
+// Fast path: exactly one goroutine runs at a time, so if the caller's clock
+// is still ahead of no runnable processor — it would be popped right back
+// off the run queue — the two channel handoffs (yield + resume, two
+// goroutine switches) are skipped entirely. The schedule is bit-identical
+// to the slow path's: the engine would have resumed this processor next in
+// either case, by the same (clock, id) order.
 func (p *Proc) Sync() {
-	p.eng.yield <- yieldMsg{p, yieldRunnable}
+	e := p.eng
+	if e.aborting {
+		panic(abortRun{})
+	}
+	if len(e.runq) == 0 || procLess(p, e.runq[0]) {
+		e.fastPathHits++
+		return
+	}
+	e.yield <- yieldMsg{p, yieldRunnable}
 	<-p.resume
 }
 
 // Block parks the processor until another processor calls Unblock on it.
 // reason is reported if the simulation deadlocks.
 func (p *Proc) Block(reason string) {
+	if p.eng.aborting {
+		panic(abortRun{})
+	}
 	p.blocked = true
 	p.blockReason = reason
 	p.eng.yield <- yieldMsg{p, yieldBlocked}
 	<-p.resume
+	if p.eng.aborting {
+		panic(abortRun{})
+	}
 }
 
 // Unblock makes p runnable again, with its clock advanced to at least t
@@ -92,6 +112,12 @@ func (p *Proc) Block(reason string) {
 // single-threaded so no locking is required.
 func (p *Proc) Unblock(t Time) {
 	if !p.blocked {
+		if p.eng.aborting {
+			// A deferred release during the deadlock drain may target a
+			// processor the engine has already forced out; let the unwind
+			// proceed.
+			return
+		}
 		panic(fmt.Sprintf("sim: Unblock of runnable processor %d", p.id))
 	}
 	p.blocked = false
@@ -103,15 +129,25 @@ func (p *Proc) Unblock(t Time) {
 // Blocked reports whether the processor is currently parked.
 func (p *Proc) Blocked() bool { return p.blocked }
 
+// abortRun is the sentinel panic used to unwind parked processor goroutines
+// when a deadlocked Run tears down; the per-processor wrappers recover it.
+type abortRun struct{}
+
 // Engine schedules a fixed set of simulated processors.
 type Engine struct {
 	procs []*Proc
 	runq  procHeap
 	yield chan yieldMsg
+	// drained receives one signal per processor goroutine unwound by the
+	// deadlock teardown; aborting makes Sync/Block panic(abortRun{}) instead
+	// of yielding, so unwinding bodies can never wedge on engine channels.
+	drained  chan struct{}
+	aborting bool
 
 	// Instrumentation.
-	switches uint64 // processor resumptions (scheduling events)
-	blocks   uint64 // Block calls observed
+	switches     uint64 // processor resumptions (scheduling events)
+	blocks       uint64 // Block calls observed
+	fastPathHits uint64 // Sync calls that skipped the yield/resume handoff
 }
 
 // NewEngine creates an engine with n processors, all with clock zero.
@@ -119,7 +155,12 @@ func NewEngine(n int) *Engine {
 	if n <= 0 {
 		panic("sim: engine needs at least one processor")
 	}
-	e := &Engine{yield: make(chan yieldMsg)}
+	e := &Engine{
+		procs:   make([]*Proc, 0, n),
+		runq:    make(procHeap, 0, n),
+		yield:   make(chan yieldMsg),
+		drained: make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		e.procs = append(e.procs, &Proc{id: i, eng: e, resume: make(chan struct{})})
 	}
@@ -139,6 +180,7 @@ func (e *Engine) push(p *Proc) { e.runq.push(p) }
 // clock, i.e. the parallel execution time. Run panics with a state dump if
 // the simulation deadlocks (all unfinished processors blocked).
 func (e *Engine) Run(body func(p *Proc)) Time {
+	e.aborting = false
 	for _, p := range e.procs {
 		p.clock = 0
 		p.blocked = false
@@ -149,7 +191,19 @@ func (e *Engine) Run(body func(p *Proc)) Time {
 		p := p
 		e.push(p)
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortRun); ok {
+						e.drained <- struct{}{}
+						return
+					}
+					panic(r)
+				}
+			}()
 			<-p.resume
+			if e.aborting {
+				panic(abortRun{})
+			}
 			body(p)
 			p.done = true
 			e.yield <- yieldMsg{p, yieldDone}
@@ -160,7 +214,9 @@ func (e *Engine) Run(body func(p *Proc)) Time {
 	for remaining > 0 {
 		p, ok := e.runq.pop()
 		if !ok {
-			panic("sim: deadlock\n" + e.stateDump())
+			dump := e.stateDump()
+			e.drainDeadlocked()
+			panic("sim: deadlock\n" + dump)
 		}
 		e.switches++
 		p.resume <- struct{}{}
@@ -181,6 +237,36 @@ func (e *Engine) Run(body func(p *Proc)) Time {
 	return finish
 }
 
+// drainDeadlocked unwinds every parked processor goroutine before the
+// deadlock panic propagates, so repeated Run calls (tests recovering the
+// panic) don't accumulate goroutines. Each parked processor is resumed in
+// turn; Block (and any Sync/Block reached while its body's defers unwind)
+// sees aborting and panics abortRun, which the goroutine wrapper recovers,
+// signalling drained on its way out. Processors re-queued by deferred
+// releases during the unwind are drained from the run queue afterwards.
+func (e *Engine) drainDeadlocked() {
+	e.aborting = true
+	for _, p := range e.procs {
+		if !p.done && p.blocked {
+			p.blocked = false
+			p.resume <- struct{}{}
+			<-e.drained
+		}
+	}
+	for {
+		p, ok := e.runq.pop()
+		if !ok {
+			break
+		}
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.drained
+	}
+	e.aborting = false
+}
+
 // Switches returns the number of scheduling events (processor
 // resumptions) so far — a measure of how fine-grained the simulation's
 // global operations are.
@@ -189,15 +275,17 @@ func (e *Engine) Switches() uint64 { return e.switches }
 // Blocks returns the number of Block (park) events so far.
 func (e *Engine) Blocks() uint64 { return e.blocks }
 
+// FastPathHits returns the number of Sync calls that returned without a
+// scheduler round-trip because the caller was still the minimum-clock
+// runnable processor. Switches + FastPathHits is the total number of
+// globally visible scheduling points.
+func (e *Engine) FastPathHits() uint64 { return e.fastPathHits }
+
 func (e *Engine) stateDump() string {
 	var b strings.Builder
-	ids := make([]int, len(e.procs))
-	for i := range ids {
-		ids[i] = i
-	}
-	sort.Ints(ids)
-	for _, i := range ids {
-		p := e.procs[i]
+	fmt.Fprintf(&b, "  switches=%d fastpath=%d blocks=%d\n", e.switches, e.fastPathHits, e.blocks)
+	// procs[i].id == i by construction, so the dump is already in id order.
+	for _, p := range e.procs {
 		switch {
 		case p.done:
 			fmt.Fprintf(&b, "  P%-2d done     clock=%d\n", p.id, p.clock)

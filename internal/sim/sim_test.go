@@ -3,9 +3,12 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSingleProcFinish(t *testing.T) {
@@ -249,6 +252,168 @@ func TestHeapPopEmpty(t *testing.T) {
 	}
 }
 
+// TestFastPathCountsHits: a lone runnable processor (or one strictly behind
+// every other runnable) re-enters Sync without a scheduler round-trip, and
+// the engine counts those skipped handoffs.
+func TestFastPathCountsHits(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(1)
+			p.Sync()
+		}
+	})
+	if e.FastPathHits() != 100 {
+		t.Fatalf("fast-path hits = %d, want 100 (single processor is always the minimum)", e.FastPathHits())
+	}
+	if e.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1 (only the initial resume)", e.Switches())
+	}
+}
+
+// TestFastPathRespectsTieBreak: at equal clocks the smaller id runs first,
+// so a larger-id processor must NOT take the fast path past a queued
+// smaller id.
+func TestFastPathRespectsTieBreak(t *testing.T) {
+	e := NewEngine(2)
+	var order []int
+	e.Run(func(p *Proc) {
+		p.Sync() // both at clock 0: P1's Sync must yield to P0
+		order = append(order, p.ID())
+		p.Sync() // still equal clocks
+		order = append(order, p.ID())
+	})
+	want := []int{0, 0, 1, 1} // P0 fast-paths through both Syncs, then P1 runs
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFastPathScheduleMatchesSlowPath pins the global schedule of a mixed
+// workload; the fast path must not change which processor performs the nth
+// globally visible operation, nor at what clock.
+func TestFastPathScheduleMatchesSlowPath(t *testing.T) {
+	var log []string
+	e := NewEngine(4)
+	e.Run(func(p *Proc) {
+		r := rand.New(rand.NewSource(int64(p.ID()) + 3))
+		for i := 0; i < 20; i++ {
+			p.Advance(Time(r.Intn(9)))
+			p.Sync()
+			log = append(log, fmt.Sprintf("p%d@%d", p.ID(), p.Clock()))
+		}
+	})
+	if e.FastPathHits() == 0 {
+		t.Fatal("expected some fast-path hits in a mixed workload")
+	}
+	// The (clock, id) order of globally visible operations is the kernel's
+	// contract; verify it directly.
+	for i := 1; i < len(log); i++ {
+		var c0, c1 Time
+		var id0, id1 int
+		fmt.Sscanf(log[i-1], "p%d@%d", &id0, &c0)
+		fmt.Sscanf(log[i], "p%d@%d", &id1, &c1)
+		if c1 < c0 {
+			t.Fatalf("operation %d at clock %d after clock %d", i, c1, c0)
+		}
+	}
+}
+
+// TestDeadlockDrainsGoroutines: a deadlock panic must unwind the parked
+// processor goroutines, so repeated recovered Runs don't accumulate them.
+func TestDeadlockDrainsGoroutines(t *testing.T) {
+	deadlock := func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected deadlock panic")
+			}
+		}()
+		e := NewEngine(4)
+		e.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Advance(10)
+				p.Sync()
+				return // P0 finishes; the others park forever
+			}
+			p.Block("forever")
+		})
+	}
+	deadlock() // warm up any runtime-internal goroutines
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		deadlock()
+	}
+	// Drained goroutines may take a beat to exit after signalling.
+	var after int
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+		if after = runtime.NumGoroutine(); after <= before {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if after > before+4 {
+		t.Fatalf("goroutines grew from %d to %d across 50 deadlocked Runs", before, after)
+	}
+}
+
+// TestDeadlockDrainRunsDefers: defers of parked bodies run during the
+// teardown (the abort unwinds them), including ones that unblock other
+// parked processors.
+func TestDeadlockDrainRunsDefers(t *testing.T) {
+	var unwound [3]bool
+	func() {
+		defer func() { recover() }()
+		e := NewEngine(3)
+		e.Run(func(p *Proc) {
+			defer func() {
+				unwound[p.ID()] = true
+				if p.ID() == 0 {
+					// A release-like defer: hand off to P1 mid-teardown.
+					if q := e.Proc(1); q.Blocked() {
+						q.Unblock(p.Clock())
+					}
+				}
+			}()
+			p.Block("forever")
+		})
+	}()
+	for i, u := range unwound {
+		if !u {
+			t.Fatalf("P%d's defer never ran during deadlock teardown", i)
+		}
+	}
+}
+
+// TestEngineReusableAfterDeadlock: after a drained deadlock panic the same
+// engine can run again cleanly.
+func TestEngineReusableAfterDeadlock(t *testing.T) {
+	e := NewEngine(2)
+	func() {
+		defer func() { recover() }()
+		e.Run(func(p *Proc) { p.Block("forever") })
+	}()
+	finish := e.Run(func(p *Proc) { p.Advance(7) })
+	if finish != 7 {
+		t.Fatalf("finish = %d, want 7", finish)
+	}
+}
+
+// TestStateDumpHasFastPath: the deadlock dump carries the scheduler
+// counters, including fast-path hits.
+func TestStateDumpHasFastPath(t *testing.T) {
+	e := NewEngine(2)
+	dump := e.stateDump()
+	if !strings.Contains(dump, "fastpath=") || !strings.Contains(dump, "switches=") {
+		t.Fatalf("state dump missing scheduler counters:\n%s", dump)
+	}
+	if !strings.Contains(dump, "P0") || !strings.Contains(dump, "P1") {
+		t.Fatalf("state dump missing processors:\n%s", dump)
+	}
+}
+
 func BenchmarkSyncRoundtrip(b *testing.B) {
 	e := NewEngine(2)
 	b.ResetTimer()
@@ -258,6 +423,31 @@ func BenchmarkSyncRoundtrip(b *testing.B) {
 			p.Sync()
 		}
 	})
+}
+
+// BenchmarkEngineHotLoop measures the per-Sync cost on the kernel's fast
+// path: a processor that stays behind the rest of the machine performs its
+// globally visible operations without any channel handoff. Contrast with
+// BenchmarkSyncRoundtrip, the slow-path (ping-pong) worst case.
+func BenchmarkEngineHotLoop(b *testing.B) {
+	e := NewEngine(4)
+	e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < b.N; i++ {
+				p.Advance(1)
+				p.Sync()
+			}
+			return
+		}
+		// Park the rest of the machine far in the future so P0 remains the
+		// minimum-clock processor for the whole loop.
+		p.Advance(1 << 40)
+		p.Sync()
+	})
+	if b.N > 1 && e.FastPathHits() == 0 {
+		b.Fatal("hot loop took no fast paths")
+	}
+	b.ReportMetric(float64(e.FastPathHits())/float64(b.N), "fastpath_hits/op")
 }
 
 func TestInstrumentationCounts(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"zsim/internal/apps"
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
+	"zsim/internal/runner"
 	"zsim/internal/stats"
 )
 
@@ -24,29 +25,43 @@ func ConformanceSweep(scale Scale, p memsys.Params) (*stats.Table, bool, error) 
 		Title: fmt.Sprintf("Conformance-checker verdicts (%s scale, %d processors)", scale, p.Procs),
 		Head:  head,
 	}
+	type verdict struct {
+		cell string
+		ok   bool
+	}
+	names := AppNames()
+	verdicts, err := runner.Grid(len(names)*len(kinds), func(i int) (verdict, error) {
+		name, kind := names[i/len(kinds)], kinds[i%len(kinds)]
+		app, err := NewApp(name, scale)
+		if err != nil {
+			return verdict{}, err
+		}
+		m, err := machine.New(kind, p)
+		if err != nil {
+			return verdict{}, err
+		}
+		chk := m.EnableCheck()
+		if _, err := apps.Run(app, m); err != nil {
+			return verdict{}, fmt.Errorf("workload: %s on %s failed verification: %w", name, kind, err)
+		}
+		events, _, _, _ := chk.Stats()
+		if chk.Ok() {
+			return verdict{fmt.Sprintf("ok (%d ev)", events), true}, nil
+		}
+		return verdict{fmt.Sprintf("FAIL (%d violations)", chk.NumViolations()), false}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
 	pass := true
-	for _, name := range AppNames() {
+	for i, name := range names {
 		row := []string{name}
-		for _, kind := range kinds {
-			app, err := NewApp(name, scale)
-			if err != nil {
-				return nil, false, err
-			}
-			m, err := machine.New(kind, p)
-			if err != nil {
-				return nil, false, err
-			}
-			chk := m.EnableCheck()
-			if _, err := apps.Run(app, m); err != nil {
-				return nil, false, fmt.Errorf("workload: %s on %s failed verification: %w", name, kind, err)
-			}
-			events, _, _, _ := chk.Stats()
-			if chk.Ok() {
-				row = append(row, fmt.Sprintf("ok (%d ev)", events))
-			} else {
+		for j := range kinds {
+			v := verdicts[i*len(kinds)+j]
+			if !v.ok {
 				pass = false
-				row = append(row, fmt.Sprintf("FAIL (%d violations)", chk.NumViolations()))
 			}
+			row = append(row, v.cell)
 		}
 		t.Rows = append(t.Rows, row)
 	}

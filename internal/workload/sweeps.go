@@ -7,6 +7,7 @@ import (
 	"zsim/internal/apps/cholesky"
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
+	"zsim/internal/runner"
 	"zsim/internal/stats"
 )
 
@@ -24,14 +25,16 @@ func StoreBufferSweep(app string, scale Scale, kind memsys.Kind, base memsys.Par
 		Title: fmt.Sprintf("Store buffer sweep: %s on %s", app, kind),
 		Head:  []string{"entries", "exec-cycles", "write-stall", "buf-flush", "overhead%"},
 	}
-	for _, n := range sizes {
+	results, err := runner.Grid(len(sizes), func(i int) (*stats.Result, error) {
 		p := base
-		p.StoreBufEntries = n
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", n),
+		p.StoreBufEntries = sizes[i]
+		return Run(app, scale, kind, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(fmt.Sprintf("%d", sizes[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.TotalWriteStall()),
 			fmt.Sprintf("%d", r.TotalBufferFlush()),
@@ -47,14 +50,16 @@ func NetworkSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params,
 		Title: fmt.Sprintf("Network speed sweep: %s on %s", app, kind),
 		Head:  []string{"cyc/byte", "exec-cycles", "read-stall", "write-stall", "buf-flush", "overhead%"},
 	}
-	for _, c := range cyclesPerByte {
+	results, err := runner.Grid(len(cyclesPerByte), func(i int) (*stats.Result, error) {
 		p := base
-		p.LinkCyclesPerByte = c
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%.2f", c),
+		p.LinkCyclesPerByte = cyclesPerByte[i]
+		return Run(app, scale, kind, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(fmt.Sprintf("%.2f", cyclesPerByte[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.TotalReadStall()),
 			fmt.Sprintf("%d", r.TotalWriteStall()),
@@ -70,14 +75,16 @@ func ThresholdSweep(app string, scale Scale, base memsys.Params, thresholds []in
 		Title: fmt.Sprintf("Competitive threshold sweep: %s on rccomp", app),
 		Head:  []string{"threshold", "exec-cycles", "read-stall", "write-stall", "buf-flush", "self-inval", "overhead%"},
 	}
-	for _, th := range thresholds {
+	results, err := runner.Grid(len(thresholds), func(i int) (*stats.Result, error) {
 		p := base
-		p.CompThreshold = th
-		r, err := Run(app, scale, memsys.KindRCComp, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", th),
+		p.CompThreshold = thresholds[i]
+		return Run(app, scale, memsys.KindRCComp, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(fmt.Sprintf("%d", thresholds[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.TotalReadStall()),
 			fmt.Sprintf("%d", r.TotalWriteStall()),
@@ -96,30 +103,29 @@ func FiniteCacheSweep(app string, scale Scale, kind memsys.Kind, base memsys.Par
 		Title: fmt.Sprintf("Finite cache sweep: %s on %s (4-way LRU)", app, kind),
 		Head:  []string{"cache-lines", "exec-cycles", "read-miss", "cold-miss", "read-stall", "overhead%"},
 	}
-	run := func(label string, p memsys.Params) error {
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return err
-		}
-		t.Add(label,
-			fmt.Sprintf("%d", r.ExecTime),
-			fmt.Sprintf("%d", r.Counters.ReadMisses),
-			fmt.Sprintf("%d", r.Counters.ColdMisses),
-			fmt.Sprintf("%d", r.TotalReadStall()),
-			fmt.Sprintf("%.2f", r.OverheadPct()))
-		return nil
-	}
-	if err := run("inf", base); err != nil {
-		return nil, err
-	}
+	labels := []string{"inf"}
+	points := []memsys.Params{base}
 	for _, n := range lines {
 		p := base
 		p.FiniteCache = true
 		p.CacheLines = n
 		p.CacheAssoc = 4
-		if err := run(fmt.Sprintf("%d", n), p); err != nil {
-			return nil, err
-		}
+		labels = append(labels, fmt.Sprintf("%d", n))
+		points = append(points, p)
+	}
+	results, err := runner.Grid(len(points), func(i int) (*stats.Result, error) {
+		return Run(app, scale, kind, points[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(labels[i],
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.Counters.ReadMisses),
+			fmt.Sprintf("%d", r.Counters.ColdMisses),
+			fmt.Sprintf("%d", r.TotalReadStall()),
+			fmt.Sprintf("%.2f", r.OverheadPct()))
 	}
 	return t, nil
 }
@@ -131,14 +137,16 @@ func PrefetchSweep(app string, scale Scale, base memsys.Params, degrees []int) (
 		Title: fmt.Sprintf("Sequential prefetch sweep: %s on rcinv", app),
 		Head:  []string{"degree", "exec-cycles", "read-stall", "prefetches", "overhead%"},
 	}
-	for _, d := range degrees {
+	results, err := runner.Grid(len(degrees), func(i int) (*stats.Result, error) {
 		p := base
-		p.PrefetchDegree = d
-		r, err := Run(app, scale, memsys.KindRCInv, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", d),
+		p.PrefetchDegree = degrees[i]
+		return Run(app, scale, memsys.KindRCInv, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(fmt.Sprintf("%d", degrees[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.TotalReadStall()),
 			fmt.Sprintf("%d", r.Counters.Prefetches),
@@ -154,15 +162,16 @@ func SCvsRC(scale Scale, p memsys.Params) (*stats.Table, error) {
 		Title: "SCinv vs RCinv (write stall bought back by release consistency)",
 		Head:  []string{"app", "sc-exec", "rc-exec", "sc-write-stall", "rc-write-stall", "speedup"},
 	}
-	for _, name := range AppNames() {
-		sc, err := Run(name, scale, memsys.KindSCInv, p)
-		if err != nil {
-			return nil, err
-		}
-		rc, err := Run(name, scale, memsys.KindRCInv, p)
-		if err != nil {
-			return nil, err
-		}
+	apps := AppNames()
+	kinds := []memsys.Kind{memsys.KindSCInv, memsys.KindRCInv}
+	results, err := runner.Grid(len(apps)*len(kinds), func(i int) (*stats.Result, error) {
+		return Run(apps[i/len(kinds)], scale, kinds[i%len(kinds)], p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps {
+		sc, rc := results[2*i], results[2*i+1]
 		t.Add(name,
 			fmt.Sprintf("%d", sc.ExecTime),
 			fmt.Sprintf("%d", rc.ExecTime),
@@ -183,12 +192,14 @@ func MultithreadSweep(app string, scale Scale, kind memsys.Kind, nodes int, thre
 		Title: fmt.Sprintf("Multithreading sweep: %s on %s, %d nodes", app, kind, nodes),
 		Head:  []string{"threads/node", "streams", "exec-cycles", "read-stall", "core-wait", "overhead%"},
 	}
-	for _, th := range threads {
-		p := memsys.DefaultMT(nodes*th, th)
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
+	results, err := runner.Grid(len(threads), func(i int) (*stats.Result, error) {
+		return Run(app, scale, kind, memsys.DefaultMT(nodes*threads[i], threads[i]))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		th := threads[i]
 		t.Add(fmt.Sprintf("%d", th),
 			fmt.Sprintf("%d", nodes*th),
 			fmt.Sprintf("%d", r.ExecTime),
@@ -208,17 +219,18 @@ func ScalabilitySweep(app string, scale Scale, kind memsys.Kind, procs []int) (*
 		Title: fmt.Sprintf("Scalability: %s on %s", app, kind),
 		Head:  []string{"procs", "exec-cycles", "speedup", "overhead%", "sync-wait"},
 	}
+	results, err := runner.Grid(len(procs), func(i int) (*stats.Result, error) {
+		return Run(app, scale, kind, memsys.Default(procs[i]))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var base Time
-	for _, n := range procs {
-		p := memsys.Default(n)
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
+	for i, r := range results {
 		if base == 0 {
 			base = r.ExecTime
 		}
-		t.Add(fmt.Sprintf("%d", n),
+		t.Add(fmt.Sprintf("%d", procs[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%.2f", float64(base)/float64(r.ExecTime)),
 			fmt.Sprintf("%.2f", r.OverheadPct()),
@@ -236,14 +248,16 @@ func TopologySweep(app string, scale Scale, kind memsys.Kind, base memsys.Params
 		Title: fmt.Sprintf("Topology sweep: %s on %s", app, kind),
 		Head:  []string{"topology", "exec-cycles", "read-stall", "net-queueing-visible", "overhead%"},
 	}
-	for _, topo := range topologies {
+	results, err := runner.Grid(len(topologies), func(i int) (*stats.Result, error) {
 		p := base
-		p.Topology = topo
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(topo,
+		p.Topology = topologies[i]
+		return Run(app, scale, kind, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(topologies[i],
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.TotalReadStall()),
 			fmt.Sprintf("%d", r.TotalWriteStall()+r.TotalBufferFlush()),
@@ -261,15 +275,16 @@ func RCSyncComparison(scale Scale, p memsys.Params) (*stats.Table, error) {
 		Title: "RCinv vs RCsync (paper §6: decouple data flow from synchronization)",
 		Head:  []string{"app", "rcinv-exec", "rcsync-exec", "rcinv-flush", "rcsync-flush", "speedup"},
 	}
-	for _, name := range AppNames() {
-		inv, err := Run(name, scale, memsys.KindRCInv, p)
-		if err != nil {
-			return nil, err
-		}
-		sy, err := Run(name, scale, memsys.KindRCSync, p)
-		if err != nil {
-			return nil, err
-		}
+	apps := AppNames()
+	kinds := []memsys.Kind{memsys.KindRCInv, memsys.KindRCSync}
+	results, err := runner.Grid(len(apps)*len(kinds), func(i int) (*stats.Result, error) {
+		return Run(apps[i/len(kinds)], scale, kinds[i%len(kinds)], p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps {
+		inv, sy := results[2*i], results[2*i+1]
 		t.Add(name,
 			fmt.Sprintf("%d", inv.ExecTime),
 			fmt.Sprintf("%d", sy.ExecTime),
@@ -293,22 +308,33 @@ func OrderingSweep(scale Scale, kind memsys.Kind, p memsys.Params) (*stats.Table
 	if scale == ScalePaper {
 		grid = cholesky.Paper().Grid
 	}
-	for _, ord := range []string{"natural", "nd"} {
-		app := cholesky.New(cholesky.Config{Grid: grid, Ordering: ord})
+	orderings := []string{"natural", "nd"}
+	type cell struct {
+		app *cholesky.CH
+		r   *stats.Result
+	}
+	results, err := runner.Grid(len(orderings), func(i int) (cell, error) {
+		app := cholesky.New(cholesky.Config{Grid: grid, Ordering: orderings[i]})
 		m, err := machine.New(kind, p)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		r, err := apps.Run(app, m)
 		if err != nil {
-			return nil, fmt.Errorf("workload: cholesky/%s on %s: %w", ord, kind, err)
+			return cell{}, fmt.Errorf("workload: cholesky/%s on %s: %w", orderings[i], kind, err)
 		}
-		t.Add(ord,
-			fmt.Sprintf("%d", app.Sym().NNZ()),
-			fmt.Sprintf("%d", app.Sym().NS()),
-			fmt.Sprintf("%d", r.ExecTime),
-			fmt.Sprintf("%d", r.TotalReadStall()),
-			fmt.Sprintf("%.2f", r.OverheadPct()))
+		return cell{app, r}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range results {
+		t.Add(orderings[i],
+			fmt.Sprintf("%d", c.app.Sym().NNZ()),
+			fmt.Sprintf("%d", c.app.Sym().NS()),
+			fmt.Sprintf("%d", c.r.ExecTime),
+			fmt.Sprintf("%d", c.r.TotalReadStall()),
+			fmt.Sprintf("%.2f", c.r.OverheadPct()))
 	}
 	return t, nil
 }
@@ -322,27 +348,26 @@ func DirPointerSweep(app string, scale Scale, kind memsys.Kind, base memsys.Para
 		Title: fmt.Sprintf("Directory pointer sweep: %s on %s", app, kind),
 		Head:  []string{"pointers", "exec-cycles", "read-miss", "ptr-evictions", "overhead%"},
 	}
-	run := func(label string, p memsys.Params) error {
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return err
-		}
-		t.Add(label,
+	labels := []string{"full-map"}
+	points := []memsys.Params{base}
+	for _, n := range pointers {
+		p := base
+		p.DirPointers = n
+		labels = append(labels, fmt.Sprintf("%d", n))
+		points = append(points, p)
+	}
+	results, err := runner.Grid(len(points), func(i int) (*stats.Result, error) {
+		return Run(app, scale, kind, points[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(labels[i],
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.Counters.ReadMisses),
 			fmt.Sprintf("%d", r.Counters.PointerEvictions),
 			fmt.Sprintf("%.2f", r.OverheadPct()))
-		return nil
-	}
-	if err := run("full-map", base); err != nil {
-		return nil, err
-	}
-	for _, n := range pointers {
-		p := base
-		p.DirPointers = n
-		if err := run(fmt.Sprintf("%d", n), p); err != nil {
-			return nil, err
-		}
 	}
 	return t, nil
 }
@@ -357,14 +382,16 @@ func LineSizeSweep(app string, scale Scale, kind memsys.Kind, base memsys.Params
 		Title: fmt.Sprintf("Line size sweep: %s on %s", app, kind),
 		Head:  []string{"line-bytes", "exec-cycles", "read-miss", "invalidations", "overhead%"},
 	}
-	for _, ls := range sizes {
+	results, err := runner.Grid(len(sizes), func(i int) (*stats.Result, error) {
 		p := base
-		p.LineSize = ls
-		r, err := Run(app, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", ls),
+		p.LineSize = sizes[i]
+		return Run(app, scale, kind, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Add(fmt.Sprintf("%d", sizes[i]),
 			fmt.Sprintf("%d", r.ExecTime),
 			fmt.Sprintf("%d", r.Counters.ReadMisses),
 			fmt.Sprintf("%d", r.Counters.Invalidations),
@@ -383,19 +410,18 @@ func OracleSweep(scale Scale, p memsys.Params) (*stats.Table, error) {
 		Title: "z-machine oracle: broadcast counter (§3) vs perfect per-consumer (§2.2)",
 		Head:  []string{"app", "broadcast-stall", "perfect-stall", "broadcast-exec", "perfect-exec"},
 	}
-	for _, name := range AppNames() {
-		pb := p
-		pb.ZOracle = "broadcast"
-		rb, err := Run(name, scale, memsys.KindZMachine, pb)
-		if err != nil {
-			return nil, err
-		}
-		pp := p
-		pp.ZOracle = "perfect"
-		rp, err := Run(name, scale, memsys.KindZMachine, pp)
-		if err != nil {
-			return nil, err
-		}
+	apps := AppNames()
+	oracles := []string{"broadcast", "perfect"}
+	results, err := runner.Grid(len(apps)*len(oracles), func(i int) (*stats.Result, error) {
+		po := p
+		po.ZOracle = oracles[i%len(oracles)]
+		return Run(apps[i/len(oracles)], scale, memsys.KindZMachine, po)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps {
+		rb, rp := results[2*i], results[2*i+1]
 		t.Add(name,
 			fmt.Sprintf("%d", rb.TotalReadStall()),
 			fmt.Sprintf("%d", rp.TotalReadStall()),

@@ -16,6 +16,7 @@ import (
 	"zsim/internal/apps/sor"
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
+	"zsim/internal/runner"
 	"zsim/internal/stats"
 )
 
@@ -109,13 +110,14 @@ func Figure(n int, scale Scale, p memsys.Params) (*stats.Figure, error) {
 		return nil, fmt.Errorf("workload: no figure %d in the paper (want 2-5)", n)
 	}
 	fig := &stats.Figure{Title: fmt.Sprintf("Figure %d: %s (%s scale, %d processors)", n, name, scale, p.Procs)}
-	for _, kind := range memsys.FigureKinds() {
-		r, err := Run(name, scale, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		fig.Results = append(fig.Results, r)
+	kinds := memsys.FigureKinds()
+	results, err := runner.Grid(len(kinds), func(i int) (*stats.Result, error) {
+		return Run(name, scale, kinds[i], p)
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Results = results
 	return fig, nil
 }
 
@@ -129,24 +131,25 @@ func Table1(scale Scale, p memsys.Params) (*stats.Table, []*stats.Result, error)
 		Title: fmt.Sprintf("Table 1: inherent communication and observed costs on the z-machine (%s scale)", scale),
 		Head:  []string{"app", "writes", "net-cycles", "net % of exec", "observed cost (cycles)", "exec-cycles"},
 	}
-	var results []*stats.Result
-	for _, name := range AppNames() {
-		r, err := Run(name, scale, memsys.KindZMachine, p)
-		if err != nil {
-			return nil, nil, err
-		}
+	apps := AppNames()
+	results, err := runner.Grid(len(apps), func(i int) (*stats.Result, error) {
+		return Run(apps[i], scale, memsys.KindZMachine, p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, r := range results {
 		pct := 0.0
 		if r.ExecTime > 0 {
 			pct = 100 * float64(r.Counters.NetworkCycles) / (float64(r.ExecTime) * float64(p.Procs))
 		}
-		t.Add(name,
+		t.Add(apps[i],
 			fmt.Sprintf("%d", r.Counters.Writes),
 			fmt.Sprintf("%d", r.Counters.NetworkCycles),
 			fmt.Sprintf("%.3f", pct),
 			fmt.Sprintf("%d", r.TotalReadStall()),
 			fmt.Sprintf("%d", r.ExecTime),
 		)
-		results = append(results, r)
 	}
 	return t, results, nil
 }
@@ -159,15 +162,16 @@ func ZvsPRAM(scale Scale, p memsys.Params) (*stats.Table, error) {
 		Title: "z-machine vs PRAM execution time (paper §5: they should match)",
 		Head:  []string{"app", "pram-exec", "zmc-exec", "ratio"},
 	}
-	for _, name := range AppNames() {
-		pr, err := Run(name, scale, memsys.KindPRAM, p)
-		if err != nil {
-			return nil, err
-		}
-		zr, err := Run(name, scale, memsys.KindZMachine, p)
-		if err != nil {
-			return nil, err
-		}
+	apps := AppNames()
+	kinds := []memsys.Kind{memsys.KindPRAM, memsys.KindZMachine}
+	results, err := runner.Grid(len(apps)*len(kinds), func(i int) (*stats.Result, error) {
+		return Run(apps[i/len(kinds)], scale, kinds[i%len(kinds)], p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps {
+		pr, zr := results[2*i], results[2*i+1]
 		t.Add(name,
 			fmt.Sprintf("%d", pr.ExecTime),
 			fmt.Sprintf("%d", zr.ExecTime),
@@ -189,14 +193,17 @@ func SummaryMatrix(scale Scale, p memsys.Params) (*stats.Table, error) {
 		Title: fmt.Sprintf("Overhead %% by application and memory system (%s scale, %d processors)", scale, p.Procs),
 		Head:  head,
 	}
-	for _, app := range AppNames() {
+	apps := AppNames()
+	results, err := runner.Grid(len(apps)*len(kinds), func(i int) (*stats.Result, error) {
+		return Run(apps[i/len(kinds)], scale, kinds[i%len(kinds)], p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
 		row := []string{app}
-		for _, kind := range kinds {
-			r, err := Run(app, scale, kind, p)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", r.OverheadPct()))
+		for j := range kinds {
+			row = append(row, fmt.Sprintf("%.2f", results[i*len(kinds)+j].OverheadPct()))
 		}
 		t.Rows = append(t.Rows, row)
 	}

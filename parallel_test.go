@@ -1,0 +1,90 @@
+package zsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// regenerate renders the paperbench artifacts the determinism fence pins:
+// every figure, Table 1, the z-vs-PRAM table, the overhead matrix, and the
+// litmus report — the text a `paperbench`/`zsim -litmus` user sees.
+func regenerate(t *testing.T) string {
+	t.Helper()
+	params := DefaultParams(8)
+	var b strings.Builder
+	for _, n := range PaperFigureNumbers() {
+		f, err := PaperFigure(n, ScaleSmall, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f.Render())
+	}
+	t1, _, err := PaperTable1(ScaleSmall, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(t1.Render())
+	zp, err := ZvsPRAM(ScaleSmall, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(zp.Render())
+	m, err := SummaryMatrix(ScaleSmall, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(m.Render())
+	rs, err := RunLitmusSuite(Kinds(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(LitmusReport(rs))
+	return b.String()
+}
+
+// TestParallelOutputMatchesSerial is the runner's determinism fence: the
+// rendered table/figure/litmus output at -parallel 8 must be byte-identical
+// to -parallel 1. Cells build independent machines and results are
+// collected by cell index, so the worker count must be unobservable.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	serial := regenerate(t)
+	SetParallelism(8)
+	parallel := regenerate(t)
+	if serial != parallel {
+		t.Fatal("parallel=8 output differs from parallel=1 output")
+	}
+	if !strings.Contains(serial, "Figure 2") || !strings.Contains(serial, "litmus") {
+		t.Fatalf("regeneration looks truncated:\n%.400s", serial)
+	}
+}
+
+// TestGridErrorIndependentOfParallelism: the error surfaced by a failing
+// grid is the smallest-index cell's at any worker bound (serial
+// left-to-right semantics), and a failing cell never wedges the pool.
+func TestGridErrorIndependentOfParallelism(t *testing.T) {
+	params := DefaultParams(8)
+	run := func(par int) string {
+		prev := SetParallelism(par)
+		defer SetParallelism(prev)
+		// Cell 2 and cell 5 both fail (unknown benchmark name); the cell-2
+		// error must win at every parallelism.
+		_, err := RunGrid(8, func(i int) (*Result, error) {
+			if i == 2 || i == 5 {
+				return RunBenchmark("no-such-app", ScaleSmall, RCInv, params)
+			}
+			return RunBenchmark("is", ScaleSmall, RCInv, params)
+		})
+		if err == nil {
+			t.Fatal("expected the injected cell error to surface")
+		}
+		return err.Error()
+	}
+	serial := run(1)
+	for _, par := range []int{4, 8} {
+		if got := run(par); got != serial {
+			t.Fatalf("parallel=%d surfaced %q, serial surfaced %q", par, got, serial)
+		}
+	}
+}
