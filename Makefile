@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build test race vet litmus conformance bench bench-all check
+.PHONY: all build test race vet litmus conformance bench bench-all benchdiff check
 
 all: check
 
@@ -39,4 +39,11 @@ bench:
 bench-all:
 	$(GO) test -bench . -benchmem
 
-check: vet build race litmus
+# The regression gate CI runs: regenerate a fresh record and compare it
+# against the blessed baseline. To bless a new baseline after a deliberate
+# perf change, run `make bench` and commit BENCH_baseline.json.
+benchdiff:
+	$(GO) run ./cmd/paperbench -bench-json BENCH_ci.json > /dev/null
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_ci.json -tolerance 25%
+
+check: vet build race litmus conformance

@@ -6,6 +6,7 @@ import (
 	"zsim/internal/check/litmus"
 	"zsim/internal/machine"
 	"zsim/internal/memsys"
+	"zsim/internal/metrics"
 	"zsim/internal/psync"
 	"zsim/internal/runner"
 	"zsim/internal/shm"
@@ -67,6 +68,16 @@ type (
 	LitmusTest = litmus.Test
 	// LitmusResult is one judged (litmus test, memory system) execution.
 	LitmusResult = litmus.Result
+
+	// MetricsSnapshot is a frozen view of a metrics registry: the
+	// simulator's own overhead accounting (see Machine.Metrics and
+	// GlobalMetrics). Counters and histograms of simulated events are
+	// deterministic; runner.* metrics are host-side and vary.
+	MetricsSnapshot = metrics.Snapshot
+	// GaugeSnapshot is one gauge's frozen (value, max) pair.
+	GaugeSnapshot = metrics.GaugeSnapshot
+	// HistogramSnapshot is one histogram's frozen bucket counts.
+	HistogramSnapshot = metrics.HistogramSnapshot
 
 	// Trace is the machine's event recorder (see Machine.EnableTrace).
 	Trace = trace.Recorder
@@ -323,3 +334,22 @@ func Parallelism() int { return runner.Parallelism() }
 func RunGrid(n int, cell func(i int) (*Result, error)) ([]*Result, error) {
 	return runner.Grid(n, cell)
 }
+
+// EnableMetrics turns the simulator's own overhead accounting on or off
+// and returns the previous state. Enable it before building machines.
+// Metrics never touch virtual time: simulated results are byte-identical
+// with metrics on or off and at any -parallel setting; only host-side
+// metrics (runner.cell_wall_ms, runner.workers_busy) vary between hosts.
+func EnableMetrics(on bool) bool { return metrics.Enable(on) }
+
+// MetricsEnabled reports whether metric recording is on.
+func MetricsEnabled() bool { return metrics.Enabled() }
+
+// GlobalMetrics returns a snapshot of the process-global metrics registry:
+// the aggregate over every machine run and grid executed since the last
+// ResetGlobalMetrics. This is the `metrics` section of a BENCH_*.json
+// record and the input to cmd/benchdiff's regression gate.
+func GlobalMetrics() MetricsSnapshot { return metrics.Default.Snapshot() }
+
+// ResetGlobalMetrics clears the process-global metrics registry.
+func ResetGlobalMetrics() { metrics.Default.Reset() }

@@ -397,6 +397,30 @@ func BenchmarkCheckerOverhead(b *testing.B) {
 	b.Run("checked", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkMetricsOverhead measures the cost of running with metric
+// recording enabled against the plain run (acceptance budget: ≤1.1×
+// slowdown — the hot path only pays one atomic load per observation point
+// plus the end-of-run harvest). Compare with
+//
+//	go test -bench 'MetricsOverhead' -benchtime 20x
+func BenchmarkMetricsOverhead(b *testing.B) {
+	params := DefaultParams(16)
+	run := func(b *testing.B, enabled bool) {
+		prev := EnableMetrics(enabled)
+		defer func() {
+			EnableMetrics(prev)
+			ResetGlobalMetrics()
+		}()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunBenchmark("is", benchScale(), RCInv, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
 // parallelLevels returns the worker bounds the grid benchmarks compare:
 // serial, the 2x-speedup acceptance point, and every host core.
 func parallelLevels() []int {

@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +25,7 @@ import (
 	"time"
 
 	"zsim"
+	"zsim/internal/benchrec"
 )
 
 func main() {
@@ -44,8 +44,14 @@ func main() {
 		conf     = flag.Bool("conformance", false, "run every app on every system with the conformance checker")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently (1 = serial; output is identical at any setting)")
 		benchOut = flag.String("bench-json", "", "with the full regeneration: write a machine-readable timing/throughput record (BENCH_*.json) to this path")
+		withMet  = flag.Bool("metrics", false, "collect and print the global metrics snapshot (implied by -bench-json)")
 	)
 	flag.Parse()
+
+	if *withMet || *benchOut != "" {
+		zsim.EnableMetrics(true)
+		zsim.ResetGlobalMetrics()
+	}
 
 	zsim.SetParallelism(*parallel)
 	sc := zsim.Scale(*scale)
@@ -122,7 +128,7 @@ func main() {
 		// The complete regeneration: every indexed experiment, then the
 		// machine-checked claim verdicts. With -bench-json, each phase is
 		// timed and the throughput record written for the perf trajectory.
-		rec := benchRecord{
+		rec := benchrec.Record{
 			Scale:      *scale,
 			Procs:      *procs,
 			Parallel:   *parallel,
@@ -135,7 +141,7 @@ func main() {
 			expStart := time.Now()
 			art, err := e.Run(sc, params)
 			check(err)
-			rec.Experiments = append(rec.Experiments, benchEntry{
+			rec.Experiments = append(rec.Experiments, benchrec.Entry{
 				ID: e.ID, Title: e.Title, WallMS: msSince(expStart),
 			})
 			emitArtifact(e.ID, art)
@@ -147,11 +153,15 @@ func main() {
 		if rec.TotalWallMS > 0 {
 			rec.ExperimentsPerSec = float64(len(rec.Experiments)) / (rec.TotalWallMS / 1000)
 		}
+		if zsim.MetricsEnabled() {
+			snap := zsim.GlobalMetrics()
+			rec.Metrics = &snap
+			fmt.Println("--- metrics ---")
+			fmt.Print(snap.String())
+		}
 		if *benchOut != "" {
 			rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
-			data, err := json.MarshalIndent(rec, "", "  ")
-			check(err)
-			check(os.WriteFile(*benchOut, append(data, '\n'), 0o644))
+			check(rec.Write(*benchOut))
 			fmt.Printf("wrote %s (%d experiments, %.0f ms total, %.2f experiments/s at -parallel %d)\n",
 				*benchOut, len(rec.Experiments), rec.TotalWallMS, rec.ExperimentsPerSec, *parallel)
 		}
@@ -159,28 +169,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-// benchRecord is the machine-readable timing/throughput record emitted by
-// -bench-json; BENCH_*.json files form the perf trajectory across PRs.
-type benchRecord struct {
-	Timestamp         string       `json:"timestamp"`
-	Scale             string       `json:"scale"`
-	Procs             int          `json:"procs"`
-	Parallel          int          `json:"parallel"`
-	GOMAXPROCS        int          `json:"gomaxprocs"`
-	NumCPU            int          `json:"num_cpu"`
-	Experiments       []benchEntry `json:"experiments"`
-	ClaimsWallMS      float64      `json:"claims_wall_ms"`
-	TotalWallMS       float64      `json:"total_wall_ms"`
-	ExperimentsPerSec float64      `json:"experiments_per_sec"`
-}
-
-// benchEntry is one experiment's wall-clock timing.
-type benchEntry struct {
-	ID     string  `json:"id"`
-	Title  string  `json:"title"`
-	WallMS float64 `json:"wall_ms"`
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }

@@ -35,9 +35,14 @@ func main() {
 		litmus   = flag.Bool("litmus", false, "run the litmus suite on every memory system and exit")
 		chkFlag  = flag.Bool("check", false, "attach the memory-consistency conformance checker")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently for -all and -litmus (1 = serial; output is identical at any setting)")
+		withMet  = flag.Bool("metrics", false, "collect per-run metrics and print the snapshot after the run")
 	)
 	flag.Parse()
 	zsim.SetParallelism(*parallel)
+	if *withMet {
+		zsim.EnableMetrics(true)
+		zsim.ResetGlobalMetrics()
+	}
 
 	var params zsim.Params
 	if *pfile != "" {
@@ -58,12 +63,20 @@ func main() {
 	}
 	sc := zsim.Scale(*scale)
 
+	printMetrics := func() {
+		if *withMet {
+			fmt.Println("\nmetrics:")
+			fmt.Print(zsim.GlobalMetrics().String())
+		}
+	}
+
 	if *litmus {
 		rs, err := zsim.RunLitmusSuite(zsim.Kinds(), params)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(zsim.LitmusReport(rs))
+		printMetrics()
 		if !zsim.LitmusOk(rs) {
 			os.Exit(1)
 		}
@@ -81,6 +94,7 @@ func main() {
 		}
 		fig.Results = results
 		fmt.Print(fig.Render())
+		printMetrics()
 		return
 	}
 
@@ -134,6 +148,7 @@ func main() {
 			fmt.Printf("%4d %12d %12d %12d %12d %12d\n", i, p.Compute, p.ReadStall, p.WriteStall, p.BufferFlush, p.SyncWait)
 		}
 	}
+	printMetrics()
 	if chk != nil {
 		events, reads, writes, audits := chk.Stats()
 		fmt.Printf("\nconformance:   %d events validated (%d reads, %d writes, %d audits)\n", events, reads, writes, audits)

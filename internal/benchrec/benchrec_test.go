@@ -1,0 +1,220 @@
+package benchrec
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zsim/internal/metrics"
+)
+
+func sampleRecord() *Record {
+	// Snapshot is built literally: registry counters are globally gated and
+	// this test must not flip the process-wide metrics switch.
+	s := metrics.Snapshot{Counters: map[string]uint64{
+		"sim.switches":      1000,
+		"sim.fastpath_hits": 9000,
+		"mesh.msgs":         500,
+	}}
+	return &Record{
+		Timestamp: "2026-08-05T00:00:00Z",
+		Scale:     "small",
+		Procs:     16,
+		Parallel:  4,
+		Experiments: []Entry{
+			{ID: "E1", Title: "one", WallMS: 100},
+			{ID: "E2", Title: "two", WallMS: 200},
+		},
+		ClaimsWallMS:      50,
+		TotalWallMS:       350,
+		ExperimentsPerSec: 8,
+		Metrics:           &s,
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"25%", 0.25, false},
+		{"0.25", 0.25, false},
+		{" 10 % ", 0.10, false},
+		{"0", 0, false},
+		{"-5%", 0, true},
+		{"abc", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTolerance(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseTolerance(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseTolerance(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDiffSelfCompareIsClean(t *testing.T) {
+	r := sampleRecord()
+	deltas, regressed := Diff(r, r, Options{Tolerance: 0.25})
+	if regressed {
+		t.Fatalf("self-comparison regressed:\n%s", Format(deltas, Options{}))
+	}
+	for _, d := range deltas {
+		if d.Pct != 0 {
+			t.Fatalf("self-comparison has nonzero delta %q: %v%%", d.Name, d.Pct)
+		}
+	}
+}
+
+func TestDiffCatchesTimingRegression(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	cur.Experiments[1].WallMS = old.Experiments[1].WallMS * 1.30 // past 25%
+	deltas, regressed := Diff(old, cur, Options{Tolerance: 0.25})
+	if !regressed {
+		t.Fatalf("30%% slowdown not flagged:\n%s", Format(deltas, Options{}))
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Name == "E2 wall_ms" && d.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("E2 wall_ms not marked as the regression:\n%s", Format(deltas, Options{}))
+	}
+}
+
+func TestDiffWithinToleranceIsClean(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	cur.Experiments[1].WallMS = old.Experiments[1].WallMS * 1.20 // within 25%
+	cur.TotalWallMS = old.TotalWallMS * 1.20
+	if _, regressed := Diff(old, cur, Options{Tolerance: 0.25}); regressed {
+		t.Fatal("20% slowdown flagged at 25% tolerance")
+	}
+}
+
+func TestDiffMinWallFloor(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	old.Experiments[0].WallMS = 2 // tiny: noise-dominated
+	cur.Experiments[0].WallMS = 9 // 4.5x, but below floor
+	deltas, regressed := Diff(old, cur, Options{Tolerance: 0.25, MinWallMS: 10})
+	if regressed {
+		t.Fatalf("sub-floor timing failed the gate:\n%s", Format(deltas, Options{}))
+	}
+	// Without the floor it must fail.
+	if _, regressed := Diff(old, cur, Options{Tolerance: 0.25}); !regressed {
+		t.Fatal("4.5x slowdown above floor not flagged")
+	}
+}
+
+func TestDiffThroughputRegression(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	cur.ExperimentsPerSec = old.ExperimentsPerSec * 0.5
+	if _, regressed := Diff(old, cur, Options{Tolerance: 0.25}); !regressed {
+		t.Fatal("halved throughput not flagged")
+	}
+}
+
+func TestDiffMetricRegressionBothDirections(t *testing.T) {
+	old := sampleRecord()
+
+	up := sampleRecord()
+	s := *up.Metrics
+	s.Counters = map[string]uint64{"sim.switches": 2000, "sim.fastpath_hits": 9000, "mesh.msgs": 500}
+	up.Metrics = &s
+	if _, regressed := Diff(old, up, Options{Tolerance: 0.25}); !regressed {
+		t.Fatal("doubled sim.switches not flagged")
+	}
+
+	down := sampleRecord()
+	s2 := *down.Metrics
+	s2.Counters = map[string]uint64{"sim.switches": 1000, "sim.fastpath_hits": 4000, "mesh.msgs": 500}
+	down.Metrics = &s2
+	if _, regressed := Diff(old, down, Options{Tolerance: 0.25}); !regressed {
+		t.Fatal("halved sim.fastpath_hits not flagged")
+	}
+}
+
+func TestDiffMissingMetricsSection(t *testing.T) {
+	old := sampleRecord()
+	old.Metrics = nil
+	cur := sampleRecord()
+	deltas, regressed := Diff(old, cur, Options{Tolerance: 0.25})
+	if regressed {
+		t.Fatal("missing baseline metrics section treated as regression")
+	}
+	found := false
+	for _, d := range deltas {
+		if strings.Contains(d.Note, "no metrics section") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing metrics section not noted:\n%s", Format(deltas, Options{}))
+	}
+}
+
+func TestDiffExperimentSetDrift(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	cur.Experiments = append(cur.Experiments, Entry{ID: "E9", Title: "new", WallMS: 42})
+	old.Experiments = append(old.Experiments, Entry{ID: "E0", Title: "gone", WallMS: 7})
+	deltas, regressed := Diff(old, cur, Options{Tolerance: 0.25})
+	if regressed {
+		t.Fatalf("experiment-set drift treated as regression:\n%s", Format(deltas, Options{}))
+	}
+	var onlyNew, onlyOld bool
+	for _, d := range deltas {
+		if d.Name == "E9 wall_ms" && d.Note == "only in new" {
+			onlyNew = true
+		}
+		if d.Name == "E0 wall_ms" && d.Note == "only in old" {
+			onlyOld = true
+		}
+	}
+	if !onlyNew || !onlyOld {
+		t.Fatalf("set drift not noted (onlyNew=%v onlyOld=%v):\n%s", onlyNew, onlyOld, Format(deltas, Options{}))
+	}
+}
+
+func TestLoadWriteRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWallMS != r.TotalWallMS || len(got.Experiments) != len(r.Experiments) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Metrics == nil || got.Metrics.Counter("sim.switches") != 1000 {
+		t.Fatalf("metrics section lost in round trip: %+v", got.Metrics)
+	}
+	if deltas, regressed := Diff(r, got, Options{Tolerance: 0}); regressed {
+		t.Fatalf("round-tripped record differs:\n%s", Format(deltas, Options{}))
+	}
+}
+
+func TestFormatMarksRegressions(t *testing.T) {
+	old := sampleRecord()
+	cur := sampleRecord()
+	cur.Experiments[0].WallMS = 1000
+	deltas, _ := Diff(old, cur, Options{Tolerance: 0.25})
+	out := Format(deltas, Options{})
+	if !strings.Contains(out, "! E1 wall_ms") {
+		t.Fatalf("regression not marked with '!':\n%s", out)
+	}
+	if !strings.Contains(out, "quantity") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+}

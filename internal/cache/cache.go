@@ -62,6 +62,9 @@ type Cache interface {
 	Touch(line memsys.Addr)
 	// Len returns the number of resident lines.
 	Len() int
+	// Evictions returns the number of capacity/conflict victims displaced
+	// so far (always 0 for the infinite cache).
+	Evictions() uint64
 	// ForEach visits every resident line. The visit order is unspecified;
 	// callers must not mutate the cache during iteration.
 	ForEach(func(line memsys.Addr, l *Line))
@@ -91,6 +94,7 @@ func (c *infinite) Insert(line memsys.Addr) (*Line, memsys.Addr, State, bool) {
 func (c *infinite) Invalidate(line memsys.Addr) { delete(c.m, line) }
 func (c *infinite) Touch(memsys.Addr)           {}
 func (c *infinite) Len() int                    { return len(c.m) }
+func (c *infinite) Evictions() uint64           { return 0 }
 
 func (c *infinite) ForEach(f func(memsys.Addr, *Line)) {
 	for a, l := range c.m {
@@ -121,10 +125,11 @@ type set struct {
 }
 
 type finite struct {
-	assoc int
-	sets  []set
-	tick  uint64
-	n     int
+	assoc     int
+	sets      []set
+	tick      uint64
+	n         int
+	evictions uint64
 }
 
 func (c *finite) set(line memsys.Addr) *set {
@@ -173,6 +178,7 @@ func (c *finite) Insert(line memsys.Addr) (*Line, memsys.Addr, State, bool) {
 	}
 	vline, vstate := s.ways[victim].line, s.ways[victim].l.State
 	s.ways[victim] = way{line: line, l: Line{State: Shared}, lru: c.tick, used: true}
+	c.evictions++
 	return &s.ways[victim].l, vline, vstate, true
 }
 
@@ -199,6 +205,8 @@ func (c *finite) Touch(line memsys.Addr) {
 }
 
 func (c *finite) Len() int { return c.n }
+
+func (c *finite) Evictions() uint64 { return c.evictions }
 
 func (c *finite) ForEach(f func(memsys.Addr, *Line)) {
 	for si := range c.sets {

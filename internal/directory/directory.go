@@ -108,6 +108,7 @@ type Directory struct {
 	procs    int
 	lineSize int
 	homes    []map[memsys.Addr]*Entry
+	allocs   uint64 // entries ever created (directory occupancy growth)
 }
 
 // New creates directories for every node.
@@ -133,6 +134,7 @@ func (d *Directory) Entry(addr memsys.Addr) *Entry {
 	if !ok {
 		e = &Entry{}
 		d.homes[home][line] = e
+		d.allocs++
 	}
 	return e
 }
@@ -144,6 +146,11 @@ func (d *Directory) Lookup(addr memsys.Addr) (*Entry, bool) {
 	e, ok := d.homes[home][line]
 	return e, ok
 }
+
+// Allocs returns the number of entries ever created. Entries are never
+// deallocated, so this equals Entries(); it exists as a stable counter for
+// the metrics layer's directory-occupancy accounting.
+func (d *Directory) Allocs() uint64 { return d.allocs }
 
 // Entries returns the number of allocated entries across all homes.
 func (d *Directory) Entries() int {

@@ -12,6 +12,7 @@ import (
 	"zsim/internal/check"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
+	"zsim/internal/metrics"
 	"zsim/internal/proto"
 	"zsim/internal/shm"
 	"zsim/internal/sim"
@@ -33,6 +34,11 @@ type Machine struct {
 	values map[memsys.Addr]uint64
 	procs  []stats.Proc
 	envs   []*Env
+	// met is the machine's own metrics registry; every component is wired
+	// to it at construction, the run's totals are harvested into it when
+	// Run finishes, and it is then merged into metrics.Default. Recording
+	// is gated globally by metrics.Enable and never touches virtual time.
+	met *metrics.Registry
 	// rec, when non-nil, records every globally visible event.
 	rec *trace.Recorder
 	// chk, when non-nil, validates memory-model invariants on every event.
@@ -66,6 +72,12 @@ func New(kind memsys.Kind, p memsys.Params) (*Machine, error) {
 		values:   make(map[memsys.Addr]uint64),
 		procs:    make([]stats.Proc, p.Procs),
 		coreFree: make([]Time, p.Nodes()),
+		met:      metrics.NewRegistry(),
+	}
+	m.Eng.InstrumentMetrics(m.met)
+	m.Net.InstrumentMetrics(m.met)
+	if ins, ok := mem.(metrics.Instrumentable); ok {
+		ins.InstrumentMetrics(m.met)
 	}
 	for i := 0; i < p.Procs; i++ {
 		m.envs = append(m.envs, &Env{m: m, p: m.Eng.Proc(i), st: &m.procs[i]})
@@ -157,6 +169,9 @@ func (m *Machine) Run(app string, body func(e *Env)) *stats.Result {
 		body(m.envs[p.ID()])
 	})
 	m.chk.Finish()
+	if metrics.Enabled() {
+		m.publishMetrics(exec)
+	}
 	res := &stats.Result{
 		App:      app,
 		System:   m.Mem.Name(),
@@ -165,6 +180,45 @@ func (m *Machine) Run(app string, body func(e *Env)) *stats.Result {
 		Counters: *m.Mem.Counters(),
 	}
 	return res
+}
+
+// Metrics returns a frozen snapshot of the machine's metrics registry.
+// During a run it carries the live per-event metrics (run-queue depth,
+// store-buffer occupancy, mesh hops); after Run it also carries the
+// harvested totals (sim.*, proto.*, mesh.*, directory.*, cache.*,
+// machine.*). Empty unless metrics.Enable was on when the machine was
+// built and ran.
+func (m *Machine) Metrics() metrics.Snapshot { return m.met.Snapshot() }
+
+// publishMetrics harvests every component's run totals into the machine's
+// registry and folds the registry into the process-global default, from
+// which paperbench's -bench-json record takes its metrics section. Only
+// host-visible accounting happens here: virtual time is never read.
+func (m *Machine) publishMetrics(exec Time) {
+	r := m.met
+	m.Eng.PublishMetrics(r)
+	m.Net.PublishMetrics(r)
+	if pub, ok := m.Mem.(metrics.Publisher); ok {
+		pub.PublishMetrics(r)
+	}
+	c := m.Mem.Counters()
+	r.Counter("proto.reads").Add(c.Reads)
+	r.Counter("proto.writes").Add(c.Writes)
+	r.Counter("proto.read_misses").Add(c.ReadMisses)
+	r.Counter("proto.write_misses").Add(c.WriteMisses)
+	r.Counter("proto.cold_misses").Add(c.ColdMisses)
+	r.Counter("proto.msgs").Add(c.Messages)
+	r.Counter("proto.data_msgs").Add(c.DataMsgs)
+	r.Counter("proto.bytes").Add(c.Bytes)
+	r.Counter("proto.invalidations").Add(c.Invalidations)
+	r.Counter("proto.updates").Add(c.Updates)
+	r.Counter("proto.useless_updates").Add(c.UselessUpdates)
+	r.Counter("proto.self_invalidations").Add(c.SelfInvalidations)
+	r.Counter("proto.prefetches").Add(c.Prefetches)
+	r.Counter("proto.pointer_evictions").Add(c.PointerEvictions)
+	r.Counter("machine.runs").Inc()
+	r.Counter("machine.exec_cycles").Add(uint64(exec))
+	metrics.Default.Merge(r)
 }
 
 // Env is the per-processor view of the machine: the trap interface through

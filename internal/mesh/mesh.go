@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"zsim/internal/memsys"
+	"zsim/internal/metrics"
 )
 
 // Time aliases the kernel's virtual time.
@@ -35,6 +36,29 @@ type Net struct {
 	bytes    uint64
 	queueing Time // total cycles spent waiting for busy links
 	occupied Time // total link-occupancy cycles injected
+
+	// mHops records the routing hop count of each message; the plain stats
+	// above are harvested by PublishMetrics at the end of a run.
+	mHops *metrics.Histogram
+}
+
+// HopBuckets are the inclusive upper bounds of the mesh.hops histogram.
+var HopBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// InstrumentMetrics attaches the per-message hop histogram (implements
+// metrics.Instrumentable).
+func (n *Net) InstrumentMetrics(r *metrics.Registry) {
+	n.mHops = r.Histogram("mesh.hops", HopBuckets)
+}
+
+// PublishMetrics harvests the interconnect's aggregate stats into r
+// (implements metrics.Publisher). mesh.occupied_cycles over the product of
+// link count and run length is the network's link utilization.
+func (n *Net) PublishMetrics(r *metrics.Registry) {
+	r.Counter("mesh.msgs").Add(n.msgs)
+	r.Counter("mesh.bytes").Add(n.bytes)
+	r.Counter("mesh.queue_cycles").Add(uint64(n.queueing))
+	r.Counter("mesh.occupied_cycles").Add(uint64(n.occupied))
 }
 
 // New builds the interconnect described by p.
@@ -69,6 +93,10 @@ func (n *Net) Send(src, dst, bytes int, start Time) Time {
 	}
 	n.msgs++
 	n.bytes += uint64(bytes)
+	if n.mHops != nil && metrics.Enabled() {
+		// Guarded: computing the hop count walks the routing path.
+		n.mHops.Observe(uint64(n.Hops(src, dst)))
+	}
 	transfer := n.p.TransferCycles(bytes)
 	t := start
 	if n.topo.Shared() {

@@ -4,6 +4,7 @@ import (
 	"zsim/internal/cache"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
+	"zsim/internal/metrics"
 	"zsim/internal/wbuffer"
 )
 
@@ -29,6 +30,12 @@ func newInv(p memsys.Params, net *mesh.Net, sc, lazy bool) *inv {
 		v.sb = append(v.sb, wbuffer.NewStore(p.StoreBufEntries))
 	}
 	return v
+}
+
+// InstrumentMetrics wires the store buffers' per-event metric handles
+// (implements metrics.Instrumentable).
+func (v *inv) InstrumentMetrics(r *metrics.Registry) {
+	v.instrumentStoreBuffers(r, v.sb)
 }
 
 func (v *inv) Name() memsys.Kind {

@@ -17,6 +17,8 @@ import (
 	"zsim/internal/directory"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
+	"zsim/internal/metrics"
+	"zsim/internal/wbuffer"
 )
 
 // Time aliases virtual time.
@@ -94,6 +96,35 @@ func newBase(p memsys.Params, net *mesh.Net) base {
 }
 
 func (b *base) Counters() *memsys.Counters { return b.ctr }
+
+// instrumentStoreBuffers wires every node's store buffer to one shared set
+// of metric handles (per-node attribution is not needed by the gate).
+func (b *base) instrumentStoreBuffers(r *metrics.Registry, sbs []*wbuffer.StoreBuffer) {
+	occ := r.Histogram("wbuffer.occupancy", wbuffer.OccupancyBuckets)
+	full := r.Counter("wbuffer.full_stall_cycles")
+	flush := r.Counter("wbuffer.flush_stall_cycles")
+	flushes := r.Counter("wbuffer.flushes")
+	for _, sb := range sbs {
+		sb.Instrument(occ, full, flush, flushes)
+	}
+}
+
+// PublishMetrics harvests the hardware state only the protocol can see —
+// directory occupancy and cache residency/evictions — into r (implements
+// metrics.Publisher). The protocol event counters (misses, invalidations,
+// updates) are published by the machine from Counters().
+func (b *base) PublishMetrics(r *metrics.Registry) {
+	r.Gauge("directory.entries").Set(int64(b.dir.Entries()))
+	r.Counter("directory.allocs").Add(b.dir.Allocs())
+	var resident int
+	var evictions uint64
+	for _, c := range b.caches {
+		resident += c.Len()
+		evictions += c.Evictions()
+	}
+	r.Gauge("cache.resident_lines").Set(int64(resident))
+	r.Counter("cache.evictions").Add(evictions)
+}
 
 func (b *base) line(addr memsys.Addr) memsys.Addr { return memsys.Line(addr, b.p.LineSize) }
 

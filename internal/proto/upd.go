@@ -5,6 +5,7 @@ import (
 	"zsim/internal/directory"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
+	"zsim/internal/metrics"
 	"zsim/internal/wbuffer"
 )
 
@@ -39,6 +40,17 @@ func newUpd(p memsys.Params, net *mesh.Net, mode updMode) *upd {
 		u.mb = append(u.mb, wbuffer.NewMerge(p.MergeBufLines))
 	}
 	return u
+}
+
+// InstrumentMetrics wires the store and merge buffers' per-event metric
+// handles (implements metrics.Instrumentable).
+func (u *upd) InstrumentMetrics(r *metrics.Registry) {
+	u.instrumentStoreBuffers(r, u.sb)
+	merges := r.Counter("wbuffer.merges")
+	evictions := r.Counter("wbuffer.merge_evictions")
+	for _, mb := range u.mb {
+		mb.Instrument(merges, evictions)
+	}
 }
 
 func (u *upd) Name() memsys.Kind {
@@ -108,12 +120,11 @@ func (u *upd) Write(p int, addr memsys.Addr, size int, now Time) Time {
 	u.ctr.CountWrite(p)
 	n := u.node(p)
 	line := u.line(addr)
-	if u.mb[n].Contains(line) {
-		return 0 // combined into the merging line
-	}
+	// Put combines a write to an already-merging line for free and
+	// otherwise buffers it; only a displaced victim costs anything.
 	victim, evicted := u.mb[n].Put(line)
 	if !evicted {
-		return 0 // buffered; sent at eviction or the next release
+		return 0
 	}
 	// The displaced line's update transaction needs a store-buffer slot.
 	u.ctr.WriteMisses++

@@ -4,6 +4,7 @@ import (
 	"zsim/internal/directory"
 	"zsim/internal/memsys"
 	"zsim/internal/mesh"
+	"zsim/internal/metrics"
 )
 
 // zmc is the paper's z-machine: the zero-overhead reference model whose only
@@ -49,6 +50,13 @@ func newZMachine(p memsys.Params, net *mesh.Net) *zmc {
 
 func (z *zmc) Name() memsys.Kind          { return memsys.KindZMachine }
 func (z *zmc) Counters() *memsys.Counters { return z.ctr }
+
+// PublishMetrics harvests the z-machine's word-grain directory occupancy
+// (implements metrics.Publisher).
+func (z *zmc) PublishMetrics(r *metrics.Registry) {
+	r.Gauge("directory.entries").Set(int64(z.dir.Entries()))
+	r.Counter("directory.allocs").Add(z.dir.Allocs())
+}
 
 // lines visits every z-machine word-line covered by [addr, addr+size).
 func (z *zmc) lines(addr memsys.Addr, size int, f func(line memsys.Addr)) {

@@ -12,6 +12,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"zsim/internal/metrics"
 )
 
 // parallelism bounds the number of concurrently running cells. It defaults
@@ -46,6 +49,47 @@ func SetParallelism(n int) int {
 //
 // Cells must be independent (no shared mutable state); each should build
 // its own machine.
+// CellWallBuckets are the inclusive upper bounds (in milliseconds) of the
+// runner.cell_wall_ms histogram. Cell wall time is host-side accounting:
+// it varies with the machine and the -parallel setting, unlike every
+// simulated metric.
+var CellWallBuckets = []uint64{1, 5, 10, 25, 50, 100, 250, 1000}
+
+// gridMetrics carries the per-grid handles recorded into metrics.Default.
+// Handles are fetched per Grid call (not cached) so a Default.Reset
+// between evaluation phases cannot leave stale metric pointers behind.
+type gridMetrics struct {
+	cells *metrics.Counter
+	wall  *metrics.Histogram
+	busy  *metrics.Gauge
+}
+
+// run executes one cell with host-side wall-time and occupancy accounting.
+func (g *gridMetrics) run(do func()) {
+	if g == nil {
+		do()
+		return
+	}
+	g.busy.Add(1)
+	start := time.Now()
+	do()
+	g.wall.Observe(uint64(time.Since(start).Milliseconds()))
+	g.busy.Add(-1)
+	g.cells.Inc()
+}
+
+func newGridMetrics() *gridMetrics {
+	if !metrics.Enabled() {
+		return nil
+	}
+	metrics.Default.Counter("runner.grids").Inc()
+	return &gridMetrics{
+		cells: metrics.Default.Counter("runner.cells"),
+		wall:  metrics.Default.Histogram("runner.cell_wall_ms", CellWallBuckets),
+		busy:  metrics.Default.Gauge("runner.workers_busy"),
+	}
+}
+
 func Grid[T any](n int, cell func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -54,11 +98,13 @@ func Grid[T any](n int, cell func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	panics := make([]any, n)
+	gm := newGridMetrics()
 	if workers <= 1 {
 		// Serial: run in the caller's goroutine. Every cell still runs on
 		// error or panic so the outcome matches the pooled path's.
 		for i := 0; i < n; i++ {
-			runCell(cell, i, results, errs, panics)
+			i := i
+			gm.run(func() { runCell(cell, i, results, errs, panics) })
 		}
 		for _, pv := range panics {
 			if pv != nil {
@@ -78,7 +124,7 @@ func Grid[T any](n int, cell func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				runCell(cell, i, results, errs, panics)
+				gm.run(func() { runCell(cell, i, results, errs, panics) })
 			}
 		}()
 	}

@@ -16,6 +16,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"zsim/internal/metrics"
 )
 
 // Time is virtual time in CPU cycles.
@@ -144,10 +146,38 @@ type Engine struct {
 	drained  chan struct{}
 	aborting bool
 
-	// Instrumentation.
+	// Instrumentation. The hot-path counts are plain fields (the engine is
+	// single-threaded) harvested into a metrics registry by PublishMetrics;
+	// only the run-queue depth histogram and deadlock-drain counter are
+	// recorded live, because they cannot be reconstructed afterwards.
 	switches     uint64 // processor resumptions (scheduling events)
 	blocks       uint64 // Block calls observed
 	fastPathHits uint64 // Sync calls that skipped the yield/resume handoff
+
+	mRunqDepth *metrics.Histogram // runnable procs remaining after each pop
+	mDrains    *metrics.Counter   // goroutines unwound by deadlock teardown
+}
+
+// RunqDepthBuckets are the inclusive upper bounds of the sim.runq_depth
+// histogram: how many processors were runnable behind each scheduling pop.
+var RunqDepthBuckets = []uint64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// InstrumentMetrics attaches per-event metric handles (implements
+// metrics.Instrumentable). Harvested totals are published separately by
+// PublishMetrics at the end of a run.
+func (e *Engine) InstrumentMetrics(r *metrics.Registry) {
+	e.mRunqDepth = r.Histogram("sim.runq_depth", RunqDepthBuckets)
+	e.mDrains = r.Counter("sim.deadlock_drains")
+}
+
+// PublishMetrics harvests the engine's plain instrumentation counts into r
+// (implements metrics.Publisher). sim.yields is the total number of
+// globally visible scheduling points: fast-path hits plus full handoffs.
+func (e *Engine) PublishMetrics(r *metrics.Registry) {
+	r.Counter("sim.switches").Add(e.switches)
+	r.Counter("sim.blocks").Add(e.blocks)
+	r.Counter("sim.fastpath_hits").Add(e.fastPathHits)
+	r.Counter("sim.yields").Add(e.fastPathHits + e.switches)
 }
 
 // NewEngine creates an engine with n processors, all with clock zero.
@@ -219,6 +249,7 @@ func (e *Engine) Run(body func(p *Proc)) Time {
 			panic("sim: deadlock\n" + dump)
 		}
 		e.switches++
+		e.mRunqDepth.Observe(uint64(len(e.runq)))
 		p.resume <- struct{}{}
 		m := <-e.yield
 		switch m.kind {
@@ -251,6 +282,7 @@ func (e *Engine) drainDeadlocked() {
 			p.blocked = false
 			p.resume <- struct{}{}
 			<-e.drained
+			e.mDrains.Inc()
 		}
 	}
 	for {
@@ -263,6 +295,7 @@ func (e *Engine) drainDeadlocked() {
 		}
 		p.resume <- struct{}{}
 		<-e.drained
+		e.mDrains.Inc()
 	}
 	e.aborting = false
 }

@@ -10,7 +10,14 @@
 // entries retire (buffer flush).
 package wbuffer
 
-import "zsim/internal/memsys"
+import (
+	"zsim/internal/memsys"
+	"zsim/internal/metrics"
+)
+
+// OccupancyBuckets are the inclusive upper bounds of the
+// wbuffer.occupancy histogram (in-flight entries seen at each Reserve).
+var OccupancyBuckets = []uint64{0, 1, 2, 4, 8, 16}
 
 // StoreBuffer tracks the completion times of in-flight writes. An entry
 // retires when the protocol-level transaction it represents (ownership
@@ -18,6 +25,23 @@ import "zsim/internal/memsys"
 type StoreBuffer struct {
 	cap     int
 	pending []memsys.Time // completion times, unordered
+
+	// Per-event metric handles (nil unless Instrument was called). Shared
+	// across a machine's buffers: they are atomic, and per-node attribution
+	// is not needed for the regression gate.
+	mOccupancy  *metrics.Histogram // entries in flight at each Reserve
+	mFullStall  *metrics.Counter   // cycles stalled on a full buffer
+	mFlushStall *metrics.Counter   // cycles stalled draining at releases
+	mFlushes    *metrics.Counter   // DrainStall calls with entries pending
+}
+
+// Instrument attaches per-event metric handles, all nil-safe; the protocol
+// that owns the buffer wires every node's buffer to the same handles.
+func (b *StoreBuffer) Instrument(occupancy *metrics.Histogram, fullStall, flushStall, flushes *metrics.Counter) {
+	b.mOccupancy = occupancy
+	b.mFullStall = fullStall
+	b.mFlushStall = flushStall
+	b.mFlushes = flushes
 }
 
 // NewStore returns a store buffer with the given number of entries.
@@ -54,6 +78,7 @@ func (b *StoreBuffer) Pending(now memsys.Time) int {
 // Add the new entry's completion time.
 func (b *StoreBuffer) Reserve(now memsys.Time) (stall memsys.Time) {
 	b.retire(now)
+	b.mOccupancy.Observe(uint64(len(b.pending)))
 	if len(b.pending) < b.cap {
 		return 0
 	}
@@ -66,6 +91,7 @@ func (b *StoreBuffer) Reserve(now memsys.Time) (stall memsys.Time) {
 	}
 	stall = min - now
 	b.retire(min)
+	b.mFullStall.Add(uint64(stall))
 	return stall
 }
 
@@ -100,8 +126,12 @@ func (b *StoreBuffer) DrainStall(now memsys.Time) (stall memsys.Time) {
 			max = c
 		}
 	}
+	if len(b.pending) > 0 {
+		b.mFlushes.Inc()
+	}
 	b.pending = b.pending[:0]
 	if max > now {
+		b.mFlushStall.Add(uint64(max - now))
 		return max - now
 	}
 	return 0
@@ -113,6 +143,15 @@ func (b *StoreBuffer) DrainStall(now memsys.Time) (stall memsys.Time) {
 type MergeBuffer struct {
 	cap   int
 	lines []memsys.Addr // FIFO, oldest first
+
+	mMerges    *metrics.Counter // writes combined into a merging line
+	mEvictions *metrics.Counter // lines displaced by a full buffer
+}
+
+// Instrument attaches per-event metric handles (nil-safe).
+func (m *MergeBuffer) Instrument(merges, evictions *metrics.Counter) {
+	m.mMerges = merges
+	m.mEvictions = evictions
 }
 
 // NewMerge returns a merge buffer holding cap cache lines (the paper uses 1).
@@ -145,12 +184,14 @@ func (m *MergeBuffer) Contains(line memsys.Addr) bool {
 // can emit its update message.
 func (m *MergeBuffer) Put(line memsys.Addr) (victim memsys.Addr, evicted bool) {
 	if m.Contains(line) {
+		m.mMerges.Inc()
 		return 0, false
 	}
 	if len(m.lines) == m.cap {
 		victim = m.lines[0]
 		copy(m.lines, m.lines[1:])
 		m.lines[len(m.lines)-1] = line
+		m.mEvictions.Inc()
 		return victim, true
 	}
 	m.lines = append(m.lines, line)
