@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build test race vet litmus conformance bench bench-all benchdiff check
+.PHONY: all build test race vet litmus conformance bench bench-all benchdiff profile check
 
 all: check
 
@@ -38,6 +38,13 @@ bench:
 # Every benchmark in the repository (slow).
 bench-all:
 	$(GO) test -bench . -benchmem
+
+# Profile the small-scale sweep serially (so the CPU profile reflects the
+# simulation hot path, not worker-pool scheduling). Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/paperbench -scale small -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof"
 
 # The regression gate CI runs: regenerate a fresh record and compare it
 # against the blessed baseline. To bless a new baseline after a deliberate

@@ -28,6 +28,7 @@ func benchScale() Scale {
 // system's overhead percentage as a metric.
 func benchFigure(b *testing.B, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	var fig *Figure
 	for i := 0; i < b.N; i++ {
@@ -61,6 +62,7 @@ func BenchmarkFig5BarnesHut(b *testing.B) { benchFigure(b, 5) }
 // BenchmarkTable1ZMachine regenerates Table 1: inherent communication and
 // observed costs on the z-machine for all four applications.
 func BenchmarkTable1ZMachine(b *testing.B) {
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	var results []*Result
 	for i := 0; i < b.N; i++ {
@@ -79,6 +81,7 @@ func BenchmarkTable1ZMachine(b *testing.B) {
 // BenchmarkZvsPRAM regenerates the §5 headline comparison: z-machine
 // execution time vs PRAM, per application (the ratios should be ≈1).
 func BenchmarkZvsPRAM(b *testing.B) {
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	for i := 0; i < b.N; i++ {
 		for _, app := range Benchmarks() {
@@ -100,6 +103,7 @@ func BenchmarkZvsPRAM(b *testing.B) {
 // BenchmarkSCvsRC contrasts the sequentially consistent baseline with
 // release consistency (extra experiment E12).
 func BenchmarkSCvsRC(b *testing.B) {
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	for i := 0; i < b.N; i++ {
 		for _, app := range []string{"is", "maxflow"} {
@@ -124,6 +128,7 @@ func BenchmarkAblationStoreBuffer(b *testing.B) {
 	for _, entries := range []int{1, 2, 4, 8, 16} {
 		entries := entries
 		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.StoreBufEntries = entries
 			var r *Result
@@ -146,6 +151,7 @@ func BenchmarkAblationNetwork(b *testing.B) {
 	for _, cpb := range []float64{0.4, 0.8, 1.6, 3.2} {
 		cpb := cpb
 		b.Run(fmt.Sprintf("cyc_per_byte=%.1f", cpb), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.LinkCyclesPerByte = cpb
 			var r *Result
@@ -168,6 +174,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 	for _, th := range []int{1, 2, 4, 8} {
 		th := th
 		b.Run(fmt.Sprintf("threshold=%d", th), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.CompThreshold = th
 			var r *Result
@@ -190,6 +197,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 // capacity-insensitive).
 func BenchmarkAblationFiniteCache(b *testing.B) {
 	run := func(b *testing.B, params Params) {
+		b.ReportAllocs()
 		var r *Result
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -205,6 +213,7 @@ func BenchmarkAblationFiniteCache(b *testing.B) {
 	for _, lines := range []int{16, 64, 256} {
 		lines := lines
 		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.FiniteCache = true
 			params.CacheLines = lines
@@ -220,6 +229,7 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 	for _, d := range []int{0, 1, 2, 4} {
 		d := d
 		b.Run(fmt.Sprintf("degree=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.PrefetchDegree = d
 			var r *Result
@@ -243,6 +253,7 @@ func BenchmarkAblationMultithread(b *testing.B) {
 	for _, th := range []int{1, 2, 4} {
 		th := th
 		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultMTParams(4*th, th)
 			var r *Result
 			for i := 0; i < b.N; i++ {
@@ -264,6 +275,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 	for _, topo := range []string{"mesh", "torus", "hypercube", "xbar", "bus"} {
 		topo := topo
 		b.Run(topo, func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.Topology = topo
 			var r *Result
@@ -283,6 +295,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 // BenchmarkRCSyncProposal regenerates E15: the paper's §6 decoupling
 // proposal (rcsync) against rcinv on every application.
 func BenchmarkRCSyncProposal(b *testing.B) {
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	for i := 0; i < b.N; i++ {
 		for _, app := range Benchmarks() {
@@ -304,6 +317,7 @@ func BenchmarkRCSyncProposal(b *testing.B) {
 // BenchmarkAblationOrdering regenerates E17: Cholesky under the natural
 // band ordering vs nested dissection.
 func BenchmarkAblationOrdering(b *testing.B) {
+	b.ReportAllocs()
 	params := DefaultParams(16)
 	for i := 0; i < b.N; i++ {
 		t, err := OrderingSweep(benchScale(), RCInv, params)
@@ -324,6 +338,7 @@ func BenchmarkAblationDirPointers(b *testing.B) {
 			name = "dir=full"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.DirPointers = ptrs
 			var r *Result
@@ -346,6 +361,7 @@ func BenchmarkAblationLineSize(b *testing.B) {
 	for _, ls := range []int{8, 32, 128} {
 		ls := ls
 		b.Run(fmt.Sprintf("line=%d", ls), func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.LineSize = ls
 			var r *Result
@@ -371,6 +387,7 @@ func BenchmarkAblationLineSize(b *testing.B) {
 func BenchmarkCheckerOverhead(b *testing.B) {
 	params := DefaultParams(16)
 	run := func(b *testing.B, checked bool) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			app, err := NewBenchmark("is", benchScale())
 			if err != nil {
@@ -406,6 +423,7 @@ func BenchmarkCheckerOverhead(b *testing.B) {
 func BenchmarkMetricsOverhead(b *testing.B) {
 	params := DefaultParams(16)
 	run := func(b *testing.B, enabled bool) {
+		b.ReportAllocs()
 		prev := EnableMetrics(enabled)
 		defer func() {
 			EnableMetrics(prev)
@@ -448,6 +466,7 @@ func BenchmarkLitmusSuite(b *testing.B) {
 	for _, par := range parallelLevels() {
 		par := par
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
 			withParallelism(par, func() {
 				for i := 0; i < b.N; i++ {
 					rs, err := RunLitmusSuite(Kinds(), params)
@@ -477,6 +496,7 @@ func BenchmarkFigureGrid(b *testing.B) {
 	for _, par := range parallelLevels() {
 		par := par
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
 			withParallelism(par, func() {
 				for i := 0; i < b.N; i++ {
 					results, err := RunGrid(n, func(c int) (*Result, error) {
@@ -500,6 +520,7 @@ func BenchmarkAblationOracle(b *testing.B) {
 	for _, mode := range []string{"broadcast", "perfect"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			params := DefaultParams(16)
 			params.ZOracle = mode
 			var total Time

@@ -26,6 +26,7 @@ import (
 
 	"zsim"
 	"zsim/internal/benchrec"
+	"zsim/internal/prof"
 )
 
 func main() {
@@ -45,8 +46,18 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently (1 = serial; output is identical at any setting)")
 		benchOut = flag.String("bench-json", "", "with the full regeneration: write a machine-readable timing/throughput record (BENCH_*.json) to this path")
 		withMet  = flag.Bool("metrics", false, "collect and print the global metrics snapshot (implied by -bench-json)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC snapshot) to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	check(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: profile:", err)
+		}
+	}()
 
 	if *withMet || *benchOut != "" {
 		zsim.EnableMetrics(true)

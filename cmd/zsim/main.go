@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"zsim"
+	"zsim/internal/prof"
 )
 
 func main() {
@@ -36,8 +37,19 @@ func main() {
 		chkFlag  = flag.Bool("check", false, "attach the memory-consistency conformance checker")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently for -all and -litmus (1 = serial; output is identical at any setting)")
 		withMet  = flag.Bool("metrics", false, "collect per-run metrics and print the snapshot after the run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC snapshot) to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim: profile:", err)
+		}
+	}()
 	zsim.SetParallelism(*parallel)
 	if *withMet {
 		zsim.EnableMetrics(true)

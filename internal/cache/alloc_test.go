@@ -1,0 +1,26 @@
+package cache
+
+import (
+	"testing"
+
+	"zsim/internal/memsys"
+)
+
+// The infinite cache backs every node of the simulated machine and is
+// consulted on every access; its steady state must not hash or allocate.
+func TestInfiniteSteadyStateZeroAlloc(t *testing.T) {
+	c := NewInfinite()
+	for a := memsys.Addr(0); a < 64; a++ {
+		c.Insert(a)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Lookup(7); !ok {
+			t.Fatal("warmed line must hit")
+		}
+		c.Insert(7) // idempotent re-insert
+		c.Invalidate(9)
+		c.Insert(9) // re-insert after invalidate reuses the slot
+	}); n != 0 {
+		t.Fatalf("steady-state cache ops allocate %v times per run", n)
+	}
+}

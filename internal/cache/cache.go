@@ -70,36 +70,58 @@ type Cache interface {
 	ForEach(func(line memsys.Addr, l *Line))
 }
 
-// NewInfinite returns an unbounded cache (the paper's default).
-func NewInfinite() Cache { return &infinite{m: make(map[memsys.Addr]*Line)} }
+// NewInfinite returns an unbounded cache (the paper's default). Lines live
+// in a paged flat table indexed by line number with an explicit valid bit —
+// the shared heap is a bump allocator, so line numbers are dense from zero
+// and a lookup on the per-access hot path is two array indexings with no
+// hashing, no per-line pointer, and no steady-state allocation.
+func NewInfinite() Cache { return &infinite{} }
+
+// islot is one paged-table slot: the line metadata plus its presence bit.
+type islot struct {
+	l     Line
+	valid bool
+}
 
 type infinite struct {
-	m map[memsys.Addr]*Line
+	t memsys.Paged[islot]
+	n int // resident (valid) lines
 }
 
 func (c *infinite) Lookup(line memsys.Addr) (*Line, bool) {
-	l, ok := c.m[line]
-	return l, ok
+	s := c.t.Peek(uint64(line))
+	if s == nil || !s.valid {
+		return nil, false
+	}
+	return &s.l, true
 }
 
 func (c *infinite) Insert(line memsys.Addr) (*Line, memsys.Addr, State, bool) {
-	l, ok := c.m[line]
-	if !ok {
-		l = &Line{State: Shared}
-		c.m[line] = l
+	s := c.t.At(uint64(line))
+	if !s.valid {
+		*s = islot{l: Line{State: Shared}, valid: true}
+		c.n++
 	}
-	return l, 0, Invalid, false
+	return &s.l, 0, Invalid, false
 }
 
-func (c *infinite) Invalidate(line memsys.Addr) { delete(c.m, line) }
-func (c *infinite) Touch(memsys.Addr)           {}
-func (c *infinite) Len() int                    { return len(c.m) }
-func (c *infinite) Evictions() uint64           { return 0 }
+func (c *infinite) Invalidate(line memsys.Addr) {
+	if s := c.t.Peek(uint64(line)); s != nil && s.valid {
+		s.valid = false
+		c.n--
+	}
+}
+
+func (c *infinite) Touch(memsys.Addr) {}
+func (c *infinite) Len() int          { return c.n }
+func (c *infinite) Evictions() uint64 { return 0 }
 
 func (c *infinite) ForEach(f func(memsys.Addr, *Line)) {
-	for a, l := range c.m {
-		f(a, l)
-	}
+	c.t.ForEach(func(i uint64, s *islot) {
+		if s.valid {
+			f(memsys.Addr(i), &s.l)
+		}
+	})
 }
 
 // NewFinite returns a set-associative LRU cache with the given total number

@@ -80,7 +80,10 @@ type Checker struct {
 	auditor Auditable
 	lazy    bool // rcsync: releases legitimately return before draining
 
-	shadow map[memsys.Addr]uint64
+	// shadow replays the linearization's writes: a paged flat table of
+	// words indexed by memsys.WordIndex, mirroring the machine's own value
+	// store, so validating a read on the hot path never hashes or allocates.
+	shadow memsys.Paged[uint64]
 	lastAt []memsys.Time // per-proc clock, for monotonicity
 	locks  map[int32]*lockState
 	bars   map[int32]*barState
@@ -103,7 +106,6 @@ func New(kind memsys.Kind, p memsys.Params) *Checker {
 		kind:   kind,
 		p:      p,
 		lazy:   kind == memsys.KindRCSync,
-		shadow: make(map[memsys.Addr]uint64),
 		lastAt: make([]memsys.Time, p.Procs),
 		locks:  make(map[int32]*lockState),
 		bars:   make(map[int32]*barState),
@@ -126,7 +128,7 @@ func (c *Checker) Poked(addr memsys.Addr, v uint64) {
 	if c == nil {
 		return
 	}
-	c.shadow[addr] = v
+	*c.shadow.At(memsys.WordIndex(addr)) = v
 }
 
 // Observe feeds one event. The machine calls it, in execution order, for
@@ -146,7 +148,7 @@ func (c *Checker) Observe(ev trace.Event) {
 	case trace.Read:
 		c.onRead(ev)
 	case trace.Write:
-		c.shadow[ev.Addr] = ev.Value
+		*c.shadow.At(memsys.WordIndex(ev.Addr)) = ev.Value
 		c.writes++
 	case trace.Release:
 		// An eager release must not return before its writes are performed:
@@ -183,9 +185,9 @@ func (c *Checker) Observe(ev trace.Event) {
 
 func (c *Checker) onRead(ev trace.Event) {
 	c.reads++
-	// Unwritten shared memory reads as zero, so the map's zero default is the
-	// right expectation for first touches.
-	if want := c.shadow[ev.Addr]; ev.Value != want {
+	// Unwritten shared memory reads as zero, so the table's zero default is
+	// the right expectation for first touches.
+	if want := c.shadow.Load(memsys.WordIndex(ev.Addr)); ev.Value != want {
 		c.failf("P%d read %#x = %d at t=%d, but the linearization's latest write is %d (lost or reordered write)",
 			ev.Proc, ev.Addr, ev.Value, ev.At, want)
 	}

@@ -1,0 +1,26 @@
+package directory
+
+import (
+	"testing"
+
+	"zsim/internal/memsys"
+)
+
+// Directory entries sit on every miss's critical path; once a line has been
+// touched, Entry and Lookup must be pure array indexing with no allocation.
+func TestDirectorySteadyStateZeroAlloc(t *testing.T) {
+	d := New(16, 32)
+	for a := memsys.Addr(0); a < 16*32*8; a += 32 {
+		d.Entry(a)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		e := d.Entry(5 * 32)
+		e.Sharers.Add(3)
+		e.Sharers.Remove(3)
+		if _, ok := d.Lookup(9 * 32); !ok {
+			t.Fatal("touched line must be found")
+		}
+	}); n != 0 {
+		t.Fatalf("steady-state directory ops allocate %v times per run", n)
+	}
+}

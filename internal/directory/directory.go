@@ -103,21 +103,29 @@ func (e *Entry) String() string {
 	return fmt.Sprintf("{%s sharers=%v owner=%d avail=%d v%d}", e.State, e.Sharers.List(), e.Owner, e.AvailableAt, e.Version)
 }
 
-// Directory is the collection of all nodes' directories.
+// dslot is one paged-table slot of a home's directory: the entry plus a
+// valid bit distinguishing a touched line from the zero value.
+type dslot struct {
+	e     Entry
+	valid bool
+}
+
+// Directory is the collection of all nodes' directories. Each home keeps
+// its entries in a paged flat table indexed by the line's per-home slot
+// (line / procs — lines are interleaved round-robin, so the slots of one
+// home are dense from zero). An entry access on the per-request hot path is
+// two array indexings: no hashing, no per-entry pointer, no steady-state
+// allocation.
 type Directory struct {
 	procs    int
 	lineSize int
-	homes    []map[memsys.Addr]*Entry
+	homes    []memsys.Paged[dslot]
 	allocs   uint64 // entries ever created (directory occupancy growth)
 }
 
 // New creates directories for every node.
 func New(procs, lineSize int) *Directory {
-	d := &Directory{procs: procs, lineSize: lineSize, homes: make([]map[memsys.Addr]*Entry, procs)}
-	for i := range d.homes {
-		d.homes[i] = make(map[memsys.Addr]*Entry)
-	}
-	return d
+	return &Directory{procs: procs, lineSize: lineSize, homes: make([]memsys.Paged[dslot], procs)}
 }
 
 // Home returns the home node of the line containing addr.
@@ -130,21 +138,23 @@ func (d *Directory) Home(addr memsys.Addr) int {
 func (d *Directory) Entry(addr memsys.Addr) *Entry {
 	line := memsys.Line(addr, d.lineSize)
 	home := int(line % memsys.Addr(d.procs))
-	e, ok := d.homes[home][line]
-	if !ok {
-		e = &Entry{}
-		d.homes[home][line] = e
+	s := d.homes[home].At(uint64(line) / uint64(d.procs))
+	if !s.valid {
+		s.valid = true
 		d.allocs++
 	}
-	return e
+	return &s.e
 }
 
 // Lookup returns the entry if it exists (the line has been touched).
 func (d *Directory) Lookup(addr memsys.Addr) (*Entry, bool) {
 	line := memsys.Line(addr, d.lineSize)
 	home := int(line % memsys.Addr(d.procs))
-	e, ok := d.homes[home][line]
-	return e, ok
+	s := d.homes[home].Peek(uint64(line) / uint64(d.procs))
+	if s == nil || !s.valid {
+		return nil, false
+	}
+	return &s.e, true
 }
 
 // Allocs returns the number of entries ever created. Entries are never
@@ -152,25 +162,22 @@ func (d *Directory) Lookup(addr memsys.Addr) (*Entry, bool) {
 // the metrics layer's directory-occupancy accounting.
 func (d *Directory) Allocs() uint64 { return d.allocs }
 
-// Entries returns the number of allocated entries across all homes.
-func (d *Directory) Entries() int {
-	n := 0
-	for _, h := range d.homes {
-		n += len(h)
-	}
-	return n
-}
+// Entries returns the number of allocated entries across all homes (equal
+// to Allocs, since entries are never deallocated).
+func (d *Directory) Entries() int { return int(d.allocs) }
 
 // LineSize returns the directory's coherence unit.
 func (d *Directory) LineSize() int { return d.lineSize }
 
-// ForEach visits every allocated entry (in unspecified order). Callers must
-// not mutate the directory during iteration; it exists for invariant
-// checking and debugging.
+// ForEach visits every allocated entry, home by home in ascending slot
+// order. Callers must not mutate the directory during iteration; it exists
+// for invariant checking and debugging.
 func (d *Directory) ForEach(f func(line memsys.Addr, e *Entry)) {
-	for _, h := range d.homes {
-		for line, e := range h {
-			f(line, e)
-		}
+	for home := range d.homes {
+		d.homes[home].ForEach(func(slot uint64, s *dslot) {
+			if s.valid {
+				f(memsys.Addr(slot)*memsys.Addr(d.procs)+memsys.Addr(home), &s.e)
+			}
+		})
 	}
 }

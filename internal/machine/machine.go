@@ -31,7 +31,12 @@ type Machine struct {
 	Mem    memsys.MemSystem
 	Heap   *shm.Heap
 
-	values map[memsys.Addr]uint64
+	// values backs the simulated shared memory: a paged flat table of
+	// 8-byte words indexed by memsys.WordIndex(addr). The heap is a bump
+	// allocator, so word indices are dense and every load/store on the
+	// per-access hot path is two array indexings — no hashing, no
+	// steady-state allocation.
+	values memsys.Paged[uint64]
 	procs  []stats.Proc
 	envs   []*Env
 	// met is the machine's own metrics registry; every component is wired
@@ -69,7 +74,6 @@ func New(kind memsys.Kind, p memsys.Params) (*Machine, error) {
 		Net:      net,
 		Mem:      mem,
 		Heap:     shm.NewHeap(p.LineSize),
-		values:   make(map[memsys.Addr]uint64),
 		procs:    make([]stats.Proc, p.Procs),
 		coreFree: make([]Time, p.Nodes()),
 		met:      metrics.NewRegistry(),
@@ -137,25 +141,26 @@ func (m *Machine) NewSyncObjID() int32 {
 
 // PeekU64 reads a shared word without simulating an access (setup,
 // verification, and debugging only).
-func (m *Machine) PeekU64(addr memsys.Addr) uint64 { return m.values[addr] }
+func (m *Machine) PeekU64(addr memsys.Addr) uint64 {
+	return m.values.Load(memsys.WordIndex(addr))
+}
 
 // PokeU64 writes a shared word without simulating an access. Use only for
 // pre-run initialization (the initial data placement is free, as if loaded
 // before timing starts) and never from application bodies.
 func (m *Machine) PokeU64(addr memsys.Addr, v uint64) {
-	m.values[addr] = v
+	*m.values.At(memsys.WordIndex(addr)) = v
 	m.chk.Poked(addr, v)
 }
 
 // PeekF64 reads a shared float64 without simulation.
 func (m *Machine) PeekF64(addr memsys.Addr) float64 {
-	return math.Float64frombits(m.values[addr])
+	return math.Float64frombits(m.PeekU64(addr))
 }
 
 // PokeF64 writes a shared float64 without simulation.
 func (m *Machine) PokeF64(addr memsys.Addr, v float64) {
-	m.values[addr] = math.Float64bits(v)
-	m.chk.Poked(addr, math.Float64bits(v))
+	m.PokeU64(addr, math.Float64bits(v))
 }
 
 // Run executes body on every processor and returns the run's result. A
@@ -273,7 +278,7 @@ func (e *Env) LoadU64(addr memsys.Addr) uint64 {
 	stall := e.m.Mem.Read(e.ID(), addr, shm.WordSize, at)
 	e.st.ReadStall += stall
 	e.p.Advance(stall)
-	v := e.m.values[addr]
+	v := e.m.values.Load(memsys.WordIndex(addr))
 	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: stall, Value: v})
 	return v
 }
@@ -285,7 +290,7 @@ func (e *Env) StoreU64(addr memsys.Addr, v uint64) {
 	stall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, at)
 	e.st.WriteStall += stall
 	e.p.Advance(stall)
-	e.m.values[addr] = v
+	*e.m.values.At(memsys.WordIndex(addr)) = v
 	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: stall, Value: v})
 }
 
@@ -303,8 +308,9 @@ func (e *Env) AtomicSwapU64(addr memsys.Addr, v uint64) uint64 {
 	wstall := e.m.Mem.Write(e.ID(), addr, shm.WordSize, e.p.Clock())
 	e.st.WriteStall += wstall
 	e.p.Advance(wstall)
-	old := e.m.values[addr]
-	e.m.values[addr] = v
+	w := e.m.values.At(memsys.WordIndex(addr))
+	old := *w
+	*w = v
 	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Read, Addr: addr, Stall: rstall, Value: old})
 	e.event(trace.Event{At: at, Proc: e.ID(), Kind: trace.Write, Addr: addr, Stall: wstall, Value: v})
 	return old

@@ -16,8 +16,22 @@ type Addr uint64
 // Time re-exports the kernel's virtual time for convenience.
 type Time = sim.Time
 
+// WordSize is the granularity of shared values: every simulated element is
+// an 8-byte word (internal/shm re-exports it for the typed array views).
+const WordSize = 8
+
+// WordIndex returns addr's dense word-table index (addr / WordSize). The
+// shared heap is a bump allocator, so word indices are dense from zero —
+// the property the Paged word tables exploit.
+func WordIndex(addr Addr) uint64 { return uint64(addr / WordSize) }
+
 // Line returns the cache-line index of addr for the given line size.
 func Line(addr Addr, lineSize int) Addr { return addr / Addr(lineSize) }
+
+// MaxProcs is the largest supported processor count: the directory's
+// presence bitset (directory.Bitset) is a uint64, one bit per processor, so
+// a 65th processor would silently alias processor 0's presence bit.
+const MaxProcs = 64
 
 // Kind identifies a memory system implementation.
 type Kind string

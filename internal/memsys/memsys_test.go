@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -38,6 +39,7 @@ func TestDefaultMatchesPaper(t *testing.T) {
 func TestValidateCatchesErrors(t *testing.T) {
 	bad := []func(*Params){
 		func(p *Params) { p.Procs = 0 },
+		func(p *Params) { p.Procs = 65; p.MeshW = 13; p.MeshH = 5 },
 		func(p *Params) { p.MeshW = 3 },
 		func(p *Params) { p.LineSize = 24 },
 		func(p *Params) { p.ZLineSize = 0 },
@@ -54,6 +56,25 @@ func TestValidateCatchesErrors(t *testing.T) {
 		if err := p.Validate(); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
+	}
+}
+
+func TestValidateRejectsProcsOver64(t *testing.T) {
+	// Regression: the directory's presence bitset is one uint64 bit per
+	// processor, so a 65th processor would silently alias processor 1's bit.
+	// Validate must refuse instead of corrupting sharer tracking.
+	p := Default(64)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default(64) must validate: %v", err)
+	}
+	p.Procs = 65
+	p.MeshW, p.MeshH = 13, 5
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("Procs = 65 must be rejected")
+	}
+	if want := "65"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q should name the offending count %s", err, want)
 	}
 }
 

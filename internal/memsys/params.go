@@ -152,6 +152,8 @@ func (pa Params) Validate() error {
 	switch {
 	case pa.Procs <= 0:
 		return fmt.Errorf("memsys: Procs = %d, need > 0", pa.Procs)
+	case pa.Procs > MaxProcs:
+		return fmt.Errorf("memsys: Procs = %d exceeds the %d-processor limit (the directory's presence bitset is one uint64 bit per processor)", pa.Procs, MaxProcs)
 	case pa.HWThreads <= 0 || pa.Procs%pa.HWThreads != 0:
 		return fmt.Errorf("memsys: HWThreads = %d must divide Procs = %d", pa.HWThreads, pa.Procs)
 	case pa.MeshW*pa.MeshH != pa.Procs/pa.HWThreads:

@@ -1,0 +1,34 @@
+package mesh
+
+import (
+	"testing"
+
+	"zsim/internal/memsys"
+)
+
+// Send is called for every protocol message; routing hop-by-hop via NextHop
+// must never materialize a path slice or otherwise allocate.
+func TestSendZeroAlloc(t *testing.T) {
+	for _, topo := range []string{"mesh", "torus", "hypercube", "xbar", "bus"} {
+		t.Run(topo, func(t *testing.T) {
+			p := memsys.Default(16)
+			p.Topology = topo
+			n := New(p)
+			var at Time
+			// Warm up: no state in Send lazily allocates, but keep the pin
+			// honest by exercising every link first.
+			for s := 0; s < 16; s++ {
+				for d := 0; d < 16; d++ {
+					at = n.Send(s, d, 32, at)
+				}
+			}
+			if a := testing.AllocsPerRun(200, func() {
+				at = n.Send(0, 15, 32, at)
+				at = n.Send(15, 0, 8, at)
+				at = n.Send(3, 3, 8, at) // local delivery
+			}); a != 0 {
+				t.Fatalf("Send allocates %v times per run", a)
+			}
+		})
+	}
+}

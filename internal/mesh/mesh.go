@@ -78,11 +78,12 @@ func New(p memsys.Params) *Net {
 func (n *Net) Topology() Topology { return n.topo }
 
 // Hops returns the routing hop count between two nodes.
-func (n *Net) Hops(src, dst int) int { return len(n.topo.Path(src, dst)) - 1 }
+func (n *Net) Hops(src, dst int) int { return n.topo.Hops(src, dst) }
 
 // Path returns the sequence of nodes visited from src to dst, inclusive of
-// both endpoints.
-func (n *Net) Path(src, dst int) []int { return n.topo.Path(src, dst) }
+// both endpoints. It allocates; the transfer hot path (Send) routes via
+// NextHop instead.
+func (n *Net) Path(src, dst int) []int { return Path(n.topo, src, dst) }
 
 // Send injects a message of the given size from src to dst at time start and
 // returns its arrival time, modelling store-and-forward transfer with
@@ -94,8 +95,7 @@ func (n *Net) Send(src, dst, bytes int, start Time) Time {
 	n.msgs++
 	n.bytes += uint64(bytes)
 	if n.mHops != nil && metrics.Enabled() {
-		// Guarded: computing the hop count walks the routing path.
-		n.mHops.Observe(uint64(n.Hops(src, dst)))
+		n.mHops.Observe(uint64(n.topo.Hops(src, dst)))
 	}
 	transfer := n.p.TransferCycles(bytes)
 	t := start
@@ -111,12 +111,12 @@ func (n *Net) Send(src, dst, bytes int, start Time) Time {
 		n.occupied += transfer
 		return depart
 	}
-	path := n.topo.Path(src, dst)
+	// Step hop by hop via NextHop: no path slice is ever materialized.
 	nodes := n.topo.Nodes()
-	for i := 0; i+1 < len(path); i++ {
-		from, to := path[i], path[i+1]
+	for cur := src; cur != dst; {
+		next := n.topo.NextHop(cur, dst)
 		arrive := t + n.p.HopLatency
-		idx := from*nodes + to
+		idx := cur*nodes + next
 		begin := arrive
 		if b := n.busy[idx]; b > begin {
 			n.queueing += b - begin
@@ -126,6 +126,7 @@ func (n *Net) Send(src, dst, bytes int, start Time) Time {
 		n.busy[idx] = depart
 		n.occupied += transfer
 		t = depart
+		cur = next
 	}
 	return t
 }

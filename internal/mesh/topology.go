@@ -9,15 +9,35 @@ import (
 // builds on "provides a choice of network topologies"; these are the
 // classic ones. All are used through Net, which adds link bandwidth,
 // per-hop latency, and contention.
+//
+// Routing is expressed as a step function (NextHop) plus an arithmetic
+// distance (Hops) so the per-message hot path never materializes a path
+// slice; Path builds one on top of NextHop for tests and debugging.
 type Topology interface {
 	// Name identifies the topology.
 	Name() string
 	// Nodes returns the node count.
 	Nodes() int
-	// Path returns the nodes visited from src to dst, inclusive.
-	Path(src, dst int) []int
+	// NextHop returns the node adjacent to cur on the route toward dst
+	// (dimension-order routing), or cur itself when cur == dst.
+	NextHop(cur, dst int) int
+	// Hops returns the routing hop count from src to dst, computed
+	// arithmetically without walking the route.
+	Hops(src, dst int) int
 	// Shared reports whether all links are one shared medium (a bus).
 	Shared() bool
+}
+
+// Path returns the nodes visited from src to dst, inclusive, by walking
+// NextHop. Routing itself (Net.Send) steps hop by hop without building
+// this slice; Path exists for tests and debugging.
+func Path(t Topology, src, dst int) []int {
+	path := []int{src}
+	for cur := src; cur != dst; {
+		cur = t.NextHop(cur, dst)
+		path = append(path, cur)
+	}
+	return path
 }
 
 // NewTopology builds the named topology over n nodes. Supported names:
@@ -81,20 +101,35 @@ func (g *gridTopo) step(c, t, n int) int {
 	return c - 1
 }
 
-func (g *gridTopo) Path(src, dst int) []int {
-	sx, sy := src%g.w, src/g.w
+// dist is the hop count along one dimension (the shorter way around on a
+// torus).
+func (g *gridTopo) dist(c, t, n int) int {
+	d := t - c
+	if d < 0 {
+		d = -d
+	}
+	if g.wrap {
+		if w := n - d; w < d {
+			return w
+		}
+	}
+	return d
+}
+
+func (g *gridTopo) NextHop(cur, dst int) int {
+	x, y := cur%g.w, cur/g.w
 	dx, dy := dst%g.w, dst/g.w
-	path := []int{src}
-	x, y := sx, sy
-	for x != dx {
-		x = g.step(x, dx, g.w)
-		path = append(path, y*g.w+x)
+	if x != dx { // X first (dimension order)
+		return y*g.w + g.step(x, dx, g.w)
 	}
-	for y != dy {
-		y = g.step(y, dy, g.h)
-		path = append(path, y*g.w+x)
+	if y != dy {
+		return g.step(y, dy, g.h)*g.w + x
 	}
-	return path
+	return cur
+}
+
+func (g *gridTopo) Hops(src, dst int) int {
+	return g.dist(src%g.w, dst%g.w, g.w) + g.dist(src/g.w, dst/g.w, g.h)
 }
 
 // cubeTopo is a hypercube with dimension-order (bit-fixing) routing.
@@ -104,18 +139,15 @@ func (c *cubeTopo) Name() string { return "hypercube" }
 func (c *cubeTopo) Nodes() int   { return c.n }
 func (c *cubeTopo) Shared() bool { return false }
 
-func (c *cubeTopo) Path(src, dst int) []int {
-	path := []int{src}
-	cur := src
-	diff := src ^ dst
-	for diff != 0 {
-		bit := diff & -diff
-		cur ^= bit
-		path = append(path, cur)
-		diff &^= bit
+func (c *cubeTopo) NextHop(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return cur
 	}
-	return path
+	return cur ^ (diff & -diff) // fix the lowest differing dimension
 }
+
+func (c *cubeTopo) Hops(src, dst int) int { return bits.OnesCount(uint(src ^ dst)) }
 
 // Dim returns the hypercube dimension.
 func (c *cubeTopo) Dim() int { return bits.TrailingZeros(uint(c.n)) }
@@ -137,19 +169,18 @@ func (d *directTopo) Name() string {
 func (d *directTopo) Nodes() int   { return d.n }
 func (d *directTopo) Shared() bool { return d.shared }
 
-func (d *directTopo) Path(src, dst int) []int {
-	if src == dst {
-		return []int{src}
-	}
-	return []int{src, dst}
-}
+func (d *directTopo) NextHop(cur, dst int) int { return dst }
 
-// Hops returns the hop count between two nodes on any topology.
-func Hops(t Topology, src, dst int) int { return len(t.Path(src, dst)) - 1 }
+func (d *directTopo) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
 
 // sanity verifies a path is well formed (used by New).
 func validPath(t Topology, src, dst int) error {
-	p := t.Path(src, dst)
+	p := Path(t, src, dst)
 	if len(p) == 0 || p[0] != src || p[len(p)-1] != dst {
 		return fmt.Errorf("mesh: %s: bad path %v for %d->%d", t.Name(), p, src, dst)
 	}

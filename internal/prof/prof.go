@@ -1,0 +1,51 @@
+// Package prof wires Go's pprof profilers into the command-line tools. Both
+// profiles exist to audit the simulator's own hot paths: the CPU profile
+// should be dominated by the simulation kernel and the memory systems, and
+// the heap profile should show no steady-state allocation from the paged
+// flat tables or the hop-by-hop router (see DESIGN.md, "Memory layout and
+// profiling").
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function that finishes them. CPU profiling runs from Start
+// to stop; the heap profile is a snapshot taken at stop after a GC, so it
+// reflects live steady-state memory, not transient garbage.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady state before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

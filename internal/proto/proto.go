@@ -70,8 +70,11 @@ type base struct {
 	net    *mesh.Net
 	dir    *directory.Directory
 	caches []cache.Cache
-	seen   []map[memsys.Addr]struct{} // lines ever cached, per node (cold-miss tracking)
-	ctr    *memsys.Counters
+	// seen[node] marks lines ever cached by the node (cold-miss tracking):
+	// paged flat tables indexed by the dense line number, consulted on every
+	// miss, so the lookup must not hash or allocate.
+	seen []memsys.Paged[bool]
+	ctr  *memsys.Counters
 }
 
 func newBase(p memsys.Params, net *mesh.Net) base {
@@ -81,7 +84,7 @@ func newBase(p memsys.Params, net *mesh.Net) base {
 		net:    net,
 		dir:    directory.New(nodes, p.LineSize),
 		caches: make([]cache.Cache, nodes),
-		seen:   make([]map[memsys.Addr]struct{}, nodes),
+		seen:   make([]memsys.Paged[bool], nodes),
 		ctr:    memsys.NewCounters(p.Procs),
 	}
 	for i := range b.caches {
@@ -90,7 +93,6 @@ func newBase(p memsys.Params, net *mesh.Net) base {
 		} else {
 			b.caches[i] = cache.NewInfinite()
 		}
-		b.seen[i] = make(map[memsys.Addr]struct{})
 	}
 	return b
 }
@@ -155,10 +157,11 @@ func (b *base) data(src, dst int, t Time) Time {
 // markSeen records that processor p has cached the line at least once, and
 // reports whether this is the first time (a cold touch).
 func (b *base) markSeen(p int, line memsys.Addr) (cold bool) {
-	if _, ok := b.seen[p][line]; ok {
+	s := b.seen[p].At(uint64(line))
+	if *s {
 		return false
 	}
-	b.seen[p][line] = struct{}{}
+	*s = true
 	return true
 }
 

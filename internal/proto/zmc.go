@@ -24,28 +24,50 @@ import (
 //   - Synchronization provides control flow only; the availability counter
 //     alone guarantees data flow (§3), i.e. the consistency model is the
 //     weakest commensurate with the application's data access pattern.
+//
+// zline is the z-machine's per-line writer record, held in a paged flat
+// table indexed by line number (dense, because the heap bump-allocates).
+type zline struct {
+	writer  int32 // node of the line's most recent writer
+	writeAt Time  // its issue time (perfect-oracle mode only)
+	written bool
+}
+
 type zmc struct {
-	p          memsys.Params
-	net        *mesh.Net
-	dir        *directory.Directory // line size = ZLineSize
-	lastWriter map[memsys.Addr]int
-	// lastWrite is the issue time of the line's most recent write
-	// (perfect-oracle mode computes per-consumer availability from it).
-	lastWrite map[memsys.Addr]Time
-	perfect   bool
-	ctr       *memsys.Counters
+	p   memsys.Params
+	net *mesh.Net
+	dir *directory.Directory // line size = ZLineSize
+	wr  memsys.Paged[zline]
+	// maxLat memoizes net.MaxUncontendedLatency(src, ZLineSize) per source
+	// node: the availability counter needs it on every write fan-out, the
+	// scan over destinations is O(nodes), and the topology, bandwidth, and
+	// message size are all fixed for a run.
+	maxLat   []Time
+	maxLatOK []bool
+	perfect  bool
+	ctr      *memsys.Counters
 }
 
 func newZMachine(p memsys.Params, net *mesh.Net) *zmc {
 	return &zmc{
-		p:          p,
-		net:        net,
-		dir:        directory.New(p.Nodes(), p.ZLineSize),
-		lastWriter: make(map[memsys.Addr]int),
-		lastWrite:  make(map[memsys.Addr]Time),
-		perfect:    p.ZOracle == "perfect",
-		ctr:        memsys.NewCounters(p.Procs),
+		p:        p,
+		net:      net,
+		dir:      directory.New(p.Nodes(), p.ZLineSize),
+		maxLat:   make([]Time, p.Nodes()),
+		maxLatOK: make([]bool, p.Nodes()),
+		perfect:  p.ZOracle == "perfect",
+		ctr:      memsys.NewCounters(p.Procs),
 	}
+}
+
+// maxLatFrom returns the worst-case uncontended propagation latency of one
+// z-machine line from src, computing it once per source node.
+func (z *zmc) maxLatFrom(src int) Time {
+	if !z.maxLatOK[src] {
+		z.maxLat[src] = z.net.MaxUncontendedLatency(src, z.p.ZLineSize)
+		z.maxLatOK[src] = true
+	}
+	return z.maxLat[src]
 }
 
 func (z *zmc) Name() memsys.Kind          { return memsys.KindZMachine }
@@ -73,23 +95,25 @@ func (z *zmc) Write(p int, addr memsys.Addr, size int, now Time) Time {
 	// The oracle ships the datum to the consumers; the producer proceeds
 	// immediately. Propagation completes within the worst-case uncontended
 	// latency from the producer.
-	L := z.net.MaxUncontendedLatency(n, z.p.ZLineSize)
+	L := z.maxLatFrom(n)
 	z.lines(addr, size, func(line memsys.Addr) {
 		e := z.dir.Entry(line * memsys.Addr(z.p.ZLineSize))
+		w := z.wr.At(uint64(line))
 		if z.perfect {
 			// Carry forward the previous write's worst-case availability so
 			// that counter semantics (a read waits for ALL outstanding
 			// writes) still hold across back-to-back writers.
-			if prev, ok := z.lastWrite[line]; ok {
-				if carry := prev + z.net.MaxUncontendedLatency(z.lastWriter[line], z.p.ZLineSize); carry > e.AvailableAt {
+			if w.written {
+				if carry := w.writeAt + z.maxLatFrom(int(w.writer)); carry > e.AvailableAt {
 					e.AvailableAt = carry
 				}
 			}
-			z.lastWrite[line] = now
+			w.writeAt = now
 		} else if avail := now + L; avail > e.AvailableAt {
 			e.AvailableAt = avail
 		}
-		z.lastWriter[line] = n
+		w.writer = int32(n)
+		w.written = true
 		z.ctr.Updates++
 		z.ctr.NetworkCycles += uint64(L)
 	})
@@ -106,15 +130,16 @@ func (z *zmc) Read(p int, addr memsys.Addr, size int, now Time) Time {
 			return
 		}
 		// The producer's node reads its own value locally.
-		w, wok := z.lastWriter[line]
-		if wok && w == n {
+		w := z.wr.Peek(uint64(line))
+		wok := w != nil && w.written
+		if wok && int(w.writer) == n {
 			return
 		}
 		avail := e.AvailableAt
 		if z.perfect && wok {
 			// Perfect oracle: this consumer waits only for the datum's
 			// flight time from the producer to itself.
-			if t := z.lastWrite[line] + z.net.UncontendedLatency(w, n, z.p.ZLineSize); t > avail {
+			if t := w.writeAt + z.net.UncontendedLatency(int(w.writer), n, z.p.ZLineSize); t > avail {
 				avail = t
 			}
 		}

@@ -15,8 +15,9 @@ import (
 )
 
 // WordSize is the granularity of shared values: every element is an 8-byte
-// word (float64 or uint64).
-const WordSize = 8
+// word (float64 or uint64). The canonical constant lives in memsys next to
+// Addr and the paged word tables keyed by memsys.WordIndex.
+const WordSize = memsys.WordSize
 
 // Accessor performs simulated shared memory accesses. *machine.Env
 // implements it.
