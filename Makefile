@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build test race vet litmus conformance bench bench-all benchdiff profile check
+.PHONY: all build test race vet lint litmus conformance bench bench-all benchdiff profile check
 
 all: check
 
@@ -11,11 +11,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The project-native static-analysis suite (cmd/zlint): maprange, walltime,
+# globalmut, atomicmix, errdrop. See DESIGN.md "Determinism rules". Any
+# unsuppressed finding exits nonzero; suppress with
+# `//zlint:ignore <analyzer> <reason>` (the reason is mandatory).
+lint:
+	$(GO) run ./cmd/zlint ./...
+
 test:
 	$(GO) test ./...
 
+# The dynamic backstop for the static globalmut/atomicmix analyzers: the
+# race detector over the short test suite.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # The litmus suite: every litmus program on every memory system with the
 # conformance checker attached; nonzero exit on any non-conformance.
@@ -53,4 +62,4 @@ benchdiff:
 	$(GO) run ./cmd/paperbench -bench-json BENCH_ci.json > /dev/null
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_ci.json -tolerance 25%
 
-check: vet build race litmus conformance
+check: vet lint build test race litmus conformance

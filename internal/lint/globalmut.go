@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GlobalMut flags package-level mutable state in deterministic-zone
+// packages. Under the parallel runner every grid cell executes the same
+// zone code concurrently; a package-level var is shared across cells, so
+// writing it is a data race and even reading it couples cells that the
+// determinism proof treats as independent. State belongs on the Machine /
+// Engine structs, one instance per cell.
+//
+// Two shapes are exempt:
+//
+//   - blank vars (`var _ Iface = (*T)(nil)`): compile-time assertions,
+//     not state;
+//   - vars of interface type error (`var ErrFoo = errors.New(...)`):
+//     sentinel errors are assigned once and only ever compared.
+//
+// Everything else — including read-only lookup tables — must either move
+// into a struct, become a function, or carry an explicit
+// //zlint:ignore globalmut <reason> stating why it is never written after
+// package initialization.
+var GlobalMut = &Analyzer{
+	Name:     "globalmut",
+	Doc:      "package-level mutable state races across parallel runner cells in the deterministic zone",
+	ZoneOnly: true,
+	Run:      runGlobalMut,
+}
+
+func runGlobalMut(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := p.objectOf(name)
+					if obj == nil {
+						continue
+					}
+					if isErrorType(obj.Type()) {
+						continue
+					}
+					out = append(out, p.finding(name, "globalmut",
+						"package-level var %s is mutable state shared across parallel runner cells; move it onto a per-run struct or justify with //zlint:ignore", name.Name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags iteration over a map inside the deterministic zone. Go
+// randomizes map iteration order on purpose, so any map range whose body
+// observes keys or values in iteration order — emitting text, accumulating
+// floats, appending structs — silently breaks the bit-identical goldens the
+// paper's overhead decomposition depends on.
+//
+// The one permitted shape is the canonical fix itself: a range that does
+// nothing but collect the keys into a slice,
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort/slices sort of keys...
+//	for _, k := range keys { ... }
+//
+// because the collected set is order-insensitive. A range with no
+// iteration variables at all (`for range m`) is likewise allowed: the body
+// cannot observe the order.
+var MapRange = &Analyzer{
+	Name:     "maprange",
+	Doc:      "map iteration order is randomized; deterministic-zone code must range over sorted keys",
+	ZoneOnly: true,
+	Run:      runMapRange,
+}
+
+func runMapRange(p *Package) []Finding {
+	var out []Finding
+	p.inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rs.Key == nil && rs.Value == nil {
+			return true // `for range m`: order unobservable
+		}
+		if isKeyCollect(p, rs) {
+			return true
+		}
+		out = append(out, p.finding(rs, "maprange",
+			"map iteration order is nondeterministic in the deterministic zone; collect and sort the keys, then range over the sorted slice"))
+		return true
+	})
+	return out
+}
+
+// isKeyCollect recognizes the allowed key-collection idiom: key variable
+// only, no value variable, and a body that is exactly `s = append(s, k)`.
+func isKeyCollect(p *Package, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := p.objectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || p.objectOf(dst) == nil || p.objectOf(dst) != p.objectOf(lhs) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && p.objectOf(arg) != nil && p.objectOf(arg) == p.objectOf(key)
+}

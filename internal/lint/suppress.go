@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressDirective is the comment prefix that silences a finding.
+const suppressDirective = "zlint:ignore"
+
+// suppression is one parsed //zlint:ignore comment.
+type suppression struct {
+	pos      token.Position
+	analyzer string // "" when malformed
+	reason   string
+	bad      string // non-empty: why the directive itself is a finding
+	used     bool
+}
+
+// suppressionSet holds every directive found in one package.
+type suppressionSet struct {
+	sups []*suppression
+}
+
+// collectSuppressions parses every //zlint:ignore directive in the
+// package's comments. The directive grammar is
+//
+//	//zlint:ignore <analyzer> <reason...>
+//
+// and both parts are mandatory: an invariant is only allowed to be waived
+// on the record, with a named analyzer and a human-readable excuse.
+func collectSuppressions(p *Package) *suppressionSet {
+	set := &suppressionSet{}
+	valid := AnalyzerNames()
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+suppressDirective)
+				if !ok {
+					continue
+				}
+				s := &suppression{pos: p.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					s.bad = "//zlint:ignore needs an analyzer name and a reason"
+				case !valid[fields[0]]:
+					s.bad = "//zlint:ignore names unknown analyzer \"" + fields[0] + "\""
+				case len(fields) == 1:
+					s.analyzer = fields[0]
+					s.bad = "//zlint:ignore " + fields[0] + " needs a reason"
+				default:
+					s.analyzer = fields[0]
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				set.sups = append(set.sups, s)
+			}
+		}
+	}
+	return set
+}
+
+// suppress reports whether the finding is covered by a well-formed
+// directive, marking that directive used. A directive on line N covers
+// findings on line N (trailing comment) and line N+1 (comment on the line
+// above), in the same file.
+func (set *suppressionSet) suppress(f Finding) bool {
+	for _, s := range set.sups {
+		if s.bad != "" || s.analyzer != f.Analyzer || s.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if f.Pos.Line == s.pos.Line || f.Pos.Line == s.pos.Line+1 {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// problems returns a finding for every malformed directive and every
+// well-formed directive that matched nothing — a stale suppression is as
+// dangerous as a missing one, because it silently waives the next
+// violation someone writes on that line.
+func (set *suppressionSet) problems() []Finding {
+	var out []Finding
+	for _, s := range set.sups {
+		switch {
+		case s.bad != "":
+			out = append(out, Finding{Pos: s.pos, Analyzer: "suppress", Message: s.bad})
+		case !s.used:
+			out = append(out, Finding{
+				Pos: s.pos, Analyzer: "suppress",
+				Message: "unused //zlint:ignore " + s.analyzer + " (no " + s.analyzer + " finding on this or the next line)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package fixture seeds atomicmix violations: a field updated through
+// sync/atomic functions is also read and written plainly. The typed
+// atomic.Uint64 field and the untouched plain field are fine.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	safe atomic.Uint64
+	name string
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) racyRead() uint64 {
+	return c.n
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0
+}
+
+func (c *counter) typed() uint64 {
+	return c.safe.Load()
+}
+
+func (c *counter) label() string {
+	return c.name
+}

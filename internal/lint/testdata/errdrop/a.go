@@ -1,0 +1,33 @@
+// Package fixture seeds errdrop violations: bare, deferred, and
+// goroutine-launched calls whose error result vanishes. The fmt print
+// family, never-failing writers, and explicit `_ =` discards are fine.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func write(path string, data string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(data)
+	return err
+}
+
+func report() {
+	fmt.Println("ok")
+	var b strings.Builder
+	b.WriteString("x")
+	_ = os.Remove("tmp")
+	os.Remove("tmp")
+	go cleanup()
+}
+
+func cleanup() error {
+	return os.Remove("tmp")
+}

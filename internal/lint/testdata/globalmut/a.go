@@ -1,0 +1,25 @@
+// Package fixture seeds globalmut violations: package-level mutable state
+// is flagged; sentinel errors and blank compile-time assertions are not.
+package fixture
+
+import "errors"
+
+// ErrBad is a sentinel: assigned once, only compared.
+var ErrBad = errors.New("bad")
+
+var _ = lookup // compile-time reference, not state
+
+var hits int
+
+var table = map[string]int{"a": 1}
+
+var Buckets = []uint64{1, 2, 4}
+
+func bump() int {
+	hits++
+	return hits
+}
+
+func lookup(k string) int {
+	return table[k] + int(Buckets[0])
+}

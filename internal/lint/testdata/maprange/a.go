@@ -1,0 +1,51 @@
+// Package fixture seeds maprange violations: emitting values in map
+// iteration order and folding keys in iteration order are flagged; the
+// key-collect-then-sort idiom and the bodyless `for range` are not.
+package fixture
+
+import "sort"
+
+func emit(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func sum(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func emitSorted(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func count(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises suppression handling: well-formed directives
+// (trailing and preceding-line) silence their finding; a directive with no
+// reason, an unknown analyzer name, a bare directive, and an unused
+// directive are each findings in their own right.
+package fixture
+
+import "time"
+
+func trailing() int64 {
+	return time.Now().UnixNano() //zlint:ignore walltime fixture exercises a trailing suppression
+}
+
+func preceding() int64 {
+	//zlint:ignore walltime a directive on the preceding line also counts
+	return time.Now().UnixNano()
+}
+
+func noReason() int64 {
+	return time.Now().UnixNano() //zlint:ignore walltime
+}
+
+func unknownAnalyzer() int64 {
+	return time.Now().UnixNano() //zlint:ignore fluxcap misfires sometimes
+}
+
+//zlint:ignore maprange nothing on the next line ranges a map
+func unused() {}
+
+//zlint:ignore
+func bare() {}

@@ -1,0 +1,34 @@
+// Package fixture seeds walltime violations: host-clock reads and global
+// math/rand draws are flagged; explicitly seeded generators and
+// non-clock time functions are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func shuffleInPlace(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

@@ -43,7 +43,7 @@ type Net struct {
 }
 
 // HopBuckets are the inclusive upper bounds of the mesh.hops histogram.
-var HopBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16}
+var HopBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16} //zlint:ignore globalmut immutable bucket bounds, never written after package init
 
 // InstrumentMetrics attaches the per-message hop histogram (implements
 // metrics.Instrumentable).

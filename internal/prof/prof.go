@@ -24,7 +24,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // the StartCPUProfile error is the one worth reporting
 			return nil, err
 		}
 	}
@@ -40,10 +40,13 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			runtime.GC() // materialize the steady state before the snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return err
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr // a failed close can mean an unflushed profile
+			}
+			if werr != nil {
+				return werr
 			}
 		}
 		return nil

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"sort"
 
 	"zsim/internal/cache"
 	"zsim/internal/directory"
@@ -79,9 +80,15 @@ func (b *base) AuditConformance() []string {
 	})
 
 	// Copies of lines the directory has never allocated an entry for cannot
-	// exist: every fill goes through the directory.
-	for line, held := range copies {
-		fail("line %#x: copies %v with no directory entry", line, describeCopies(held))
+	// exist: every fill goes through the directory. Report them in address
+	// order so the audit transcript is deterministic.
+	orphans := make([]memsys.Addr, 0, len(copies))
+	for line := range copies {
+		orphans = append(orphans, line)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, line := range orphans {
+		fail("line %#x: copies %v with no directory entry", line, describeCopies(copies[line]))
 	}
 	return out
 }

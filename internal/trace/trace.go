@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"zsim/internal/memsys"
@@ -188,9 +189,14 @@ func (r *Recorder) HotLines(lineSize, n int) []HotLine {
 		h.Accesses++
 		h.Stall += ev.Stall
 	}
+	lines := make([]memsys.Addr, 0, len(agg))
+	for line := range agg {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	out := make([]HotLine, 0, len(agg))
-	for _, h := range agg {
-		out = append(out, *h)
+	for _, line := range lines {
+		out = append(out, *agg[line])
 	}
 	// Selection sort of the top n (n is small).
 	if n > len(out) {

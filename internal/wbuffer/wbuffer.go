@@ -17,7 +17,7 @@ import (
 
 // OccupancyBuckets are the inclusive upper bounds of the
 // wbuffer.occupancy histogram (in-flight entries seen at each Reserve).
-var OccupancyBuckets = []uint64{0, 1, 2, 4, 8, 16}
+var OccupancyBuckets = []uint64{0, 1, 2, 4, 8, 16} //zlint:ignore globalmut immutable bucket bounds, never written after package init
 
 // StoreBuffer tracks the completion times of in-flight writes. An entry
 // retires when the protocol-level transaction it represents (ownership
