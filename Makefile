@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build test race vet lint litmus conformance bench bench-all benchdiff profile check
+.PHONY: all build test race vet lint litmus conformance bench bench-all benchdiff profile zsimd check
 
 all: check
 
@@ -62,4 +62,11 @@ benchdiff:
 	$(GO) run ./cmd/paperbench -bench-json BENCH_ci.json > /dev/null
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_ci.json -tolerance 25%
 
-check: vet lint build test race litmus conformance
+# The zsimd integration harness: API-only daemon tests (cache-hit byte
+# identity, fault injection, queue saturation, cancellation) under the
+# race detector. Also part of `make race` via ./...; kept addressable so
+# daemon changes can be gated in isolation.
+zsimd:
+	$(GO) test ./internal/zsimdtest/... -race -short
+
+check: vet lint build test race litmus conformance zsimd

@@ -1,0 +1,93 @@
+// Command zsimd is the simulation-as-a-service daemon: it serves the /v1
+// JSON API (submit experiment/benchmark/litmus jobs, poll status, fetch
+// results, cancel, health/metrics) with a bounded job queue on the runner
+// worker pool and a content-addressed result store, so identical cells
+// are served from cache instead of re-simulated.
+//
+// Usage:
+//
+//	zsimd -addr :8437
+//	zsimd -addr :8437 -store /var/lib/zsimd   # persistent result store
+//	zsimd -queue 64 -workers 4 -parallel 8    # capacity knobs
+//
+// Submit with curl:
+//
+//	curl -s localhost:8437/v1/jobs -d '{"cells":[{"type":"experiment","experiment":"E7"}]}'
+//	curl -s localhost:8437/v1/jobs/j000001
+//	curl -s localhost:8437/v1/jobs/j000001/result
+//	curl -s localhost:8437/v1/health
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zsim"
+	"zsim/internal/zsimd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8437", "listen address")
+		queue    = flag.Int("queue", 16, "bounded job queue depth (submissions past it get 503)")
+		workers  = flag.Int("workers", 2, "jobs executed concurrently")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulation cells run concurrently across all jobs (runner pool bound)")
+		storeDir = flag.String("store", "", "directory for the persistent content-addressed result store (empty = in-memory)")
+		withMet  = flag.Bool("metrics", true, "collect per-run metrics (served at /v1/health)")
+	)
+	flag.Parse()
+
+	zsim.SetParallelism(*parallel)
+	zsim.EnableMetrics(*withMet)
+
+	cfg := zsimd.Config{QueueDepth: *queue, Workers: *workers}
+	if *storeDir != "" {
+		st, err := zsimd.NewDirStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+	}
+	srv := zsimd.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "zsimd: serving on %s (queue=%d workers=%d parallel=%d store=%s)\n",
+		*addr, *queue, *workers, *parallel, storeDesc(*storeDir))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "zsimd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "zsimd: shutdown:", err)
+		}
+		srv.Close()
+	}
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsimd:", err)
+	os.Exit(1)
+}

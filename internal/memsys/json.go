@@ -1,8 +1,10 @@
 package memsys
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // JSON encodes the parameter block for experiment configuration files.
@@ -15,10 +17,21 @@ func (pa Params) JSON() ([]byte, error) {
 // the fields it changes; if the interconnect dimensions are left
 // inconsistent with the (possibly changed) node count, they are recomputed
 // automatically.
+//
+// Decoding is strict — unknown fields and trailing data are errors, not
+// silently ignored. This function is the untrusted input boundary for
+// both configuration files and the zsimd daemon's API, where a typo'd
+// field name accepted in good faith would silently simulate the wrong
+// machine (and cache the result under the wrong-machine key).
 func ParamsFromJSON(data []byte) (Params, error) {
 	pa := Default(16)
-	if err := json.Unmarshal(data, &pa); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pa); err != nil {
 		return Params{}, fmt.Errorf("memsys: bad params JSON: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Params{}, fmt.Errorf("memsys: bad params JSON: trailing data after parameter object")
 	}
 	if pa.HWThreads > 0 && pa.Procs%pa.HWThreads == 0 && pa.MeshW*pa.MeshH != pa.Nodes() {
 		pa.MeshW, pa.MeshH = meshShape(pa.Nodes())

@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -118,6 +119,98 @@ func TestGridPanicDrainsPool(t *testing.T) {
 				})
 			})
 		})
+	}
+}
+
+// TestGridFailureSurfacing is the table-driven contract for error/panic
+// surfacing: whatever mix of failing cells a grid contains, (a) every
+// cell runs, (b) the surfaced error is the smallest-index one — exactly
+// what a serial left-to-right run would report — and (c) a panic anywhere
+// is re-raised (smallest index first) only after the pool has drained,
+// taking precedence over any error. All of it independent of the worker
+// bound.
+func TestGridFailureSurfacing(t *testing.T) {
+	const n = 24
+	cases := []struct {
+		name      string
+		errAt     []int
+		panicAt   []int
+		wantErr   int // index of the error that must surface; -1 = nil error
+		wantPanic int // index of the panic that must surface; -1 = no panic
+	}{
+		{"no failures", nil, nil, -1, -1},
+		{"single error", []int{9}, nil, 9, -1},
+		{"error at cell zero", []int{0}, nil, 0, -1},
+		{"lowest of many errors wins", []int{17, 4, 21, 11}, nil, 4, -1},
+		{"error at last cell", []int{n - 1}, nil, n - 1, -1},
+		{"single panic", nil, []int{13}, -1, 13},
+		{"lowest of many panics wins", nil, []int{19, 6, 10}, -1, 6},
+		{"panic beats lower-index error", []int{2}, []int{20}, -1, 20},
+		{"every cell errors", []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23}, nil, 0, -1},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 3, 16} {
+			t.Run(fmt.Sprintf("%s/parallel=%d", tc.name, par), func(t *testing.T) {
+				erring := make(map[int]bool, len(tc.errAt))
+				for _, i := range tc.errAt {
+					erring[i] = true
+				}
+				panicking := make(map[int]bool, len(tc.panicAt))
+				for _, i := range tc.panicAt {
+					panicking[i] = true
+				}
+				var ran [n]atomic.Bool
+				checkAllRan := func() {
+					t.Helper()
+					for i := range ran {
+						if !ran[i].Load() {
+							t.Fatalf("cell %d never ran", i)
+						}
+					}
+				}
+				defer func() {
+					r := recover()
+					if tc.wantPanic < 0 {
+						if r != nil {
+							t.Fatalf("unexpected panic %v", r)
+						}
+						return
+					}
+					want := fmt.Sprintf("panic %d", tc.wantPanic)
+					if r == nil || fmt.Sprint(r) != want {
+						t.Fatalf("recovered %v, want %q", r, want)
+					}
+					checkAllRan()
+				}()
+				withParallelism(par, func() {
+					got, err := Grid(n, func(i int) (int, error) {
+						ran[i].Store(true)
+						if panicking[i] {
+							panic(fmt.Sprintf("panic %d", i))
+						}
+						if erring[i] {
+							return 0, fmt.Errorf("error %d", i)
+						}
+						return i, nil
+					})
+					if tc.wantPanic >= 0 {
+						t.Fatal("expected a panic, Grid returned")
+					}
+					checkAllRan()
+					switch {
+					case tc.wantErr < 0 && err != nil:
+						t.Fatalf("err = %v, want nil", err)
+					case tc.wantErr >= 0 && (err == nil || err.Error() != fmt.Sprintf("error %d", tc.wantErr)):
+						t.Fatalf("err = %v, want error %d", err, tc.wantErr)
+					}
+					for i, v := range got {
+						if !erring[i] && v != i {
+							t.Fatalf("healthy cell %d = %d, want %d (failed neighbours must not corrupt it)", i, v, i)
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

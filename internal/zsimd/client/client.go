@@ -1,0 +1,176 @@
+// Package client is the Go client for the zsimd simulation daemon. It is
+// the only way the integration-test harness (internal/zsimdtest) talks to
+// the daemon — every test interaction goes through these methods, exactly
+// as a production caller's would.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"zsim/internal/zsimd"
+)
+
+// Client talks to one zsimd daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8437".
+	Base string
+	// HTTP is the underlying client; nil selects http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at base.
+func New(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError mirrors the daemon's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// StatusError is a non-2xx daemon response: the HTTP status plus the
+// decoded error message.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("zsimd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// IsQueueFull reports whether err is the daemon's bounded-queue rejection.
+func IsQueueFull(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusServiceUnavailable
+}
+
+// do performs one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) != nil || ae.Error == "" {
+			ae.Error = string(data)
+		}
+		return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit submits one job of the given cells and returns its accepted
+// status. A full queue surfaces as a StatusError with code 503 (see
+// IsQueueFull).
+func (c *Client) Submit(ctx context.Context, cells ...zsimd.CellSpec) (zsimd.JobStatus, error) {
+	var st zsimd.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", zsimd.SubmitRequest{Cells: cells}, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (zsimd.JobStatus, error) {
+	var st zsimd.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's results. A job that is not done yet (or
+// failed, or was canceled) surfaces as a StatusError with code 409.
+func (c *Client) Result(ctx context.Context, id string) (zsimd.JobResult, error) {
+	var res zsimd.JobResult
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]zsimd.JobStatus, error) {
+	var out []zsimd.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a job and returns its status at that
+// moment (cancellation of a running job is asynchronous: poll until the
+// state is terminal).
+func (c *Client) Cancel(ctx context.Context, id string) (zsimd.JobStatus, error) {
+	var st zsimd.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Health fetches the daemon's health/metrics snapshot.
+func (c *Client) Health(ctx context.Context) (zsimd.Health, error) {
+	var h zsimd.Health
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &h)
+	return h, err
+}
+
+// WaitJob polls until the job reaches a terminal state or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string) (zsimd.JobStatus, error) {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("zsimd: waiting for job %s (state %s): %w", id, st.State, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// WaitDone polls like WaitJob but additionally requires the terminal
+// state to be done, surfacing the job's error otherwise.
+func (c *Client) WaitDone(ctx context.Context, id string) (zsimd.JobStatus, error) {
+	st, err := c.WaitJob(ctx, id)
+	if err != nil {
+		return st, err
+	}
+	if st.State != zsimd.JobDone {
+		return st, fmt.Errorf("zsimd: job %s ended %s: %s", id, st.State, st.Error)
+	}
+	return st, nil
+}

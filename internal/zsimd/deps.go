@@ -1,0 +1,51 @@
+package zsimd
+
+import "time"
+
+// Dependencies is the daemon's fault-injection seam, after the uplotest
+// methodology: production code consults it at a handful of named disrupt
+// points, and the test harness's dependencies submodule substitutes
+// implementations that trigger scenarios unreachable through the API
+// alone (store write failures, a worker panicking mid-cell, cells slow
+// enough to race cancellation). Production always runs ProdDependencies,
+// which disrupts nothing and costs one virtual call per checkpoint.
+type Dependencies interface {
+	// Disrupt reports whether the fault named op should fire. Unknown
+	// names must return false.
+	Disrupt(op string) bool
+	// Sleep blocks for d at the "slow-cell" disrupt point, honouring the
+	// stop channel so a cancelled or shutting-down job wakes immediately.
+	Sleep(d time.Duration, stop <-chan struct{})
+}
+
+// Disrupt point names recognized by the serving pipeline.
+const (
+	// DisruptStoreWrite fails the content-addressed store write after a
+	// cell has been simulated.
+	DisruptStoreWrite = "store-write"
+	// DisruptWorkerPanic panics inside the cell function, on the worker
+	// pool, mid-job.
+	DisruptWorkerPanic = "worker-panic"
+	// DisruptSlowCell stretches every cell by the injected delay before
+	// simulation starts, opening the window cancellation tests need.
+	DisruptSlowCell = "slow-cell"
+)
+
+// ProdDependencies is the production implementation: no disruptions.
+type ProdDependencies struct{}
+
+// Disrupt implements Dependencies.
+func (ProdDependencies) Disrupt(string) bool { return false }
+
+// Sleep implements Dependencies.
+func (ProdDependencies) Sleep(d time.Duration, stop <-chan struct{}) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}

@@ -1,0 +1,181 @@
+package zsimd
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle position. Jobs move strictly
+// queued → running → (done | failed | canceled); a queued job may also go
+// directly to canceled.
+type JobState string
+
+// The job lifecycle.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobStatus is the wire view of a job: everything host-side (identity,
+// timestamps, cache accounting) lives here, never in result bodies.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Cells       int      `json:"cells"`
+	Keys        []string `json:"keys"`
+	CacheHits   int      `json:"cache_hits"`
+	CacheMisses int      `json:"cache_misses"`
+	Error       string   `json:"error,omitempty"`
+	CreatedAt   string   `json:"created_at"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+}
+
+// CellResult is one cell's served result: its content address, whether it
+// came from the store, and the canonical body. Cached is envelope
+// metadata; Body is byte-identical either way.
+type CellResult struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// JobResult is the wire view of a finished job's results.
+type JobResult struct {
+	ID    string       `json:"id"`
+	State JobState     `json:"state"`
+	Cells []CellResult `json:"cells"`
+}
+
+// job is the daemon-side record. The mutex guards every mutable field;
+// cancel is closed (once) on cancellation or daemon shutdown so sleeping
+// or queued work wakes immediately.
+type job struct {
+	id    string
+	cells []cell
+
+	mu         sync.Mutex
+	state      JobState
+	hits       int
+	misses     int
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	bodies     [][]byte
+	cached     []bool
+	cancelOnce sync.Once
+	cancel     chan struct{}
+	done       chan struct{}
+}
+
+func newJob(id string, cells []cell, now time.Time) *job {
+	return &job{
+		id:      id,
+		cells:   cells,
+		state:   JobQueued,
+		created: now,
+		cancel:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// requestCancel flags the job for cancellation. Running cells observe the
+// closed channel at their next checkpoint; a queued job is finalized as
+// canceled by the worker that dequeues it.
+func (j *job) requestCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+}
+
+// canceled reports whether cancellation has been requested.
+func (j *job) canceledRequested() bool {
+	select {
+	case <-j.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// tryStart moves a queued job to running; it returns false when the job
+// was canceled while waiting in the queue (and finalizes it).
+func (j *job) tryStart(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	if j.canceledRequested() {
+		j.state = JobCanceled
+		j.finished = now
+		close(j.done)
+		return false
+	}
+	j.state = JobRunning
+	j.started = now
+	return true
+}
+
+// finish moves a running job to its terminal state.
+func (j *job) finish(state JobState, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = now
+	close(j.done)
+}
+
+// status snapshots the wire view.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, len(j.cells))
+	for i, c := range j.cells {
+		keys[i] = c.key
+	}
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Cells:       len(j.cells),
+		Keys:        keys,
+		CacheHits:   j.hits,
+		CacheMisses: j.misses,
+		Error:       j.errMsg,
+		CreatedAt:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// result snapshots the served results; ok is false until the job is done.
+func (j *job) result() (JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return JobResult{ID: j.id, State: j.state}, false
+	}
+	res := JobResult{ID: j.id, State: j.state, Cells: make([]CellResult, len(j.cells))}
+	for i, c := range j.cells {
+		res.Cells[i] = CellResult{Index: i, Key: c.key, Cached: j.cached[i], Body: j.bodies[i]}
+	}
+	return res, true
+}

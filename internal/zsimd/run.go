@@ -1,0 +1,123 @@
+package zsimd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"zsim/internal/check/litmus"
+	"zsim/internal/memsys"
+	"zsim/internal/stats"
+	"zsim/internal/workload"
+)
+
+// Result bodies are canonical JSON: one of the three envelope structs
+// below, json.Marshal'd (struct field order is fixed, so the encoding is
+// deterministic). Bodies are a pure function of the cell's key material —
+// no timestamps, job IDs, or host-side metrics — which is what makes a
+// cache hit byte-identical to a fresh simulation.
+
+// experimentBody is the stored body of a TypeExperiment cell.
+type experimentBody struct {
+	Type       string `json:"type"`
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Scale      string `json:"scale"`
+	Render     string `json:"render"`
+	Markdown   string `json:"markdown"`
+}
+
+// benchmarkBody is the stored body of a TypeBenchmark cell.
+type benchmarkBody struct {
+	Type   string        `json:"type"`
+	App    string        `json:"app"`
+	System string        `json:"system"`
+	Scale  string        `json:"scale"`
+	Result *stats.Result `json:"result"`
+}
+
+// litmusBody is the stored body of a TypeLitmus cell.
+type litmusBody struct {
+	Type   string `json:"type"`
+	Seed   int64  `json:"seed"`
+	Tests  int    `json:"tests"`
+	Ok     bool   `json:"ok"`
+	Report string `json:"report"`
+}
+
+// simulate runs one resolved cell and returns its canonical result body.
+// It is a pure function of the cell (plus the simulator code, pinned by
+// CodeVersion in the key): calling it twice yields identical bytes.
+func simulate(c cell) ([]byte, error) {
+	switch c.spec.Type {
+	case TypeExperiment:
+		return simulateExperiment(c)
+	case TypeBenchmark:
+		return simulateBenchmark(c)
+	case TypeLitmus:
+		return simulateLitmus(c)
+	}
+	return nil, fmt.Errorf("zsimd: unknown cell type %q", c.spec.Type)
+}
+
+func simulateExperiment(c cell) ([]byte, error) {
+	e, err := workload.FindExperiment(c.spec.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	art, err := e.Run(workload.Scale(c.spec.Scale), c.params)
+	if err != nil {
+		return nil, fmt.Errorf("zsimd: experiment %s: %w", e.ID, err)
+	}
+	return json.Marshal(experimentBody{
+		Type:       TypeExperiment,
+		Experiment: e.ID,
+		Title:      e.Title,
+		Scale:      c.spec.Scale,
+		Render:     art.Render(),
+		Markdown:   art.Markdown(),
+	})
+}
+
+func simulateBenchmark(c cell) ([]byte, error) {
+	r, err := workload.Run(c.spec.App, workload.Scale(c.spec.Scale), memsys.Kind(c.spec.System), c.params)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(benchmarkBody{
+		Type:   TypeBenchmark,
+		App:    c.spec.App,
+		System: c.spec.System,
+		Scale:  c.spec.Scale,
+		Result: r,
+	})
+}
+
+func simulateLitmus(c cell) ([]byte, error) {
+	var rs []litmus.Result
+	if c.spec.Seed == 0 {
+		var err error
+		rs, err = litmus.RunSuite(memsys.Kinds(), c.params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// One seeded random program on every memory system. A serial loop
+		// keeps result order fixed; the machines are small enough that the
+		// per-kind fan-out is not worth nesting another pool level.
+		t := litmus.RandomTest(c.spec.Seed)
+		for _, kind := range memsys.Kinds() {
+			r, err := litmus.RunTest(t, kind, c.params)
+			if err != nil {
+				return nil, fmt.Errorf("zsimd: litmus %s on %s: %w", t.Name, kind, err)
+			}
+			rs = append(rs, r)
+		}
+	}
+	return json.Marshal(litmusBody{
+		Type:   TypeLitmus,
+		Seed:   c.spec.Seed,
+		Tests:  len(rs),
+		Ok:     litmus.Ok(rs),
+		Report: litmus.Report(rs),
+	})
+}

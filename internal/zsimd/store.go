@@ -1,0 +1,139 @@
+package zsimd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is the content-addressed result store. Keys are hex SHA-256
+// content addresses (see cacheKey); values are canonical result bodies.
+// A Store must be safe for concurrent use.
+//
+// Because the key covers everything the body depends on, a Store never
+// needs invalidation: a code or parameter change produces a new key, and
+// an existing entry is by construction byte-identical to what a fresh
+// simulation would produce.
+type Store interface {
+	// Get returns the body stored under key, or ok=false when absent.
+	Get(key string) (body []byte, ok bool, err error)
+	// Put stores body under key. Overwriting an existing entry with
+	// different bytes indicates a determinism bug upstream; implementations
+	// may reject it.
+	Put(key string, body []byte) error
+	// Len returns the number of stored entries.
+	Len() (int, error)
+}
+
+// MemStore is the in-memory Store used by default and by the test harness.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	body, ok := s.m[key]
+	return body, ok, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.m[key]; ok && string(prev) != string(body) {
+		return fmt.Errorf("zsimd: store key %.12s rewritten with different bytes (determinism bug)", key)
+	}
+	s.m[key] = append([]byte(nil), body...)
+	return nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m), nil
+}
+
+// DirStore is a filesystem Store for daemon deployments that should
+// survive restarts: one file per entry at <dir>/<key[:2]>/<key>.json,
+// fanned out over 256 subdirectories so no directory grows unbounded.
+// Writes go through a temp file + rename so a crashed daemon can never
+// leave a torn body behind.
+type DirStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDirStore opens (creating if needed) a filesystem store rooted at dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("zsimd: store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a content address to its file. Keys are validated hex, but a
+// defensive check keeps a malicious key from escaping the root.
+func (s *DirStore) path(key string) (string, error) {
+	if len(key) < 8 || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("zsimd: malformed store key %q", key)
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return body, true, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, body []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Len implements Store.
+func (s *DirStore) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

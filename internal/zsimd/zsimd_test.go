@@ -1,0 +1,105 @@
+package zsimd
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	a, err := resolve(CellSpec{Type: TypeBenchmark, App: "is", System: "rcinv",
+		Params: json.RawMessage(`{"Procs":4,"StoreBufEntries":8}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same machine, different spelling: explicit default scale, reordered
+	// and re-spaced params.
+	b, err := resolve(CellSpec{Type: TypeBenchmark, App: "is", System: "rcinv", Scale: "small",
+		Params: json.RawMessage(`{ "StoreBufEntries": 8, "Procs": 4 }`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.key != b.key {
+		t.Fatalf("equivalent specs keyed differently:\n%s\n%s", a.key, b.key)
+	}
+	// Any material difference must change the key.
+	variants := []CellSpec{
+		{Type: TypeBenchmark, App: "is", System: "rcupd", Params: json.RawMessage(`{"Procs":4,"StoreBufEntries":8}`)},
+		{Type: TypeBenchmark, App: "is", System: "rcinv", Params: json.RawMessage(`{"Procs":8,"StoreBufEntries":8}`)},
+		{Type: TypeBenchmark, App: "is", System: "rcinv", Scale: "paper", Params: json.RawMessage(`{"Procs":4,"StoreBufEntries":8}`)},
+		{Type: TypeLitmus, Seed: 1},
+		{Type: TypeLitmus, Seed: 2},
+	}
+	seen := map[string]string{a.key: "base"}
+	for _, v := range variants {
+		c, err := resolve(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[c.key]; dup {
+			t.Fatalf("spec %+v collides with %s", v, prev)
+		}
+		seen[c.key] = v.Type + "/" + v.System
+	}
+}
+
+func TestResolveNormalizesIrrelevantFields(t *testing.T) {
+	// Fields that do not apply to the cell type must not perturb the key.
+	a, err := resolve(CellSpec{Type: TypeExperiment, Experiment: "E6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := resolve(CellSpec{Type: TypeExperiment, Experiment: "E6", App: "is", System: "rcinv", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.key != b.key {
+		t.Fatal("inapplicable spec fields leaked into the content address")
+	}
+}
+
+func TestMemStoreRejectsRewrites(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put("k1", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", []byte("body")); err != nil {
+		t.Fatalf("idempotent re-put rejected: %v", err)
+	}
+	if err := s.Put("k1", []byte("different")); err == nil {
+		t.Fatal("rewrite with different bytes accepted (determinism bug would be silent)")
+	}
+	body, ok, err := s.Get("k1")
+	if err != nil || !ok || string(body) != "body" {
+		t.Fatalf("Get = %q, %v, %v", body, ok, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestDirStoreRoundtripAndKeySafety(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	if err := s.Put(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	body, ok, err := s.Get(key)
+	if err != nil || !ok || string(body) != `{"x":1}` {
+		t.Fatalf("Get = %q, %v, %v", body, ok, err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "short", "../../etc/passwd", "a/b" + key} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("malformed key %q accepted", bad)
+		}
+	}
+}

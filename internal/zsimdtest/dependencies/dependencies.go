@@ -1,0 +1,35 @@
+// Package dependencies provides the fault-injection implementations of
+// zsimd.Dependencies used by the integration-test harness, after the
+// uplotest dependencies submodule: each type exploits one specific
+// scenario that cannot be reliably triggered through normal API use —
+// a failing store write, a worker panicking mid-cell, or cells slow
+// enough that cancellation and queue-saturation windows are testable.
+package dependencies
+
+import "zsim/internal/zsimd"
+
+// StoreWriteFail fails every content-addressed store write after a cell
+// has been simulated (the result exists in memory but cannot be
+// persisted; the job must fail cleanly and the daemon must survive).
+type StoreWriteFail struct{ zsimd.ProdDependencies }
+
+// Disrupt implements zsimd.Dependencies.
+func (StoreWriteFail) Disrupt(op string) bool { return op == zsimd.DisruptStoreWrite }
+
+// WorkerPanic panics inside every cell, on the worker pool. The runner
+// captures and re-raises it in the job runner, which must fail the job
+// without taking down the daemon.
+type WorkerPanic struct{ zsimd.ProdDependencies }
+
+// Disrupt implements zsimd.Dependencies.
+func (WorkerPanic) Disrupt(op string) bool { return op == zsimd.DisruptWorkerPanic }
+
+// SlowCell stretches every cell by the server's configured SlowCell delay
+// before simulation starts, opening a deterministic window in which jobs
+// are observably running (cancel paths) or the bounded queue is
+// observably full (saturation paths). The injected sleep honours the
+// job's cancel channel, so cancellation still completes immediately.
+type SlowCell struct{ zsimd.ProdDependencies }
+
+// Disrupt implements zsimd.Dependencies.
+func (SlowCell) Disrupt(op string) bool { return op == zsimd.DisruptSlowCell }

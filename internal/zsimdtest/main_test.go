@@ -1,0 +1,21 @@
+package zsimdtest
+
+import (
+	"os"
+	"testing"
+
+	"zsim/internal/metrics"
+	"zsim/internal/runner"
+)
+
+// TestMain owns the shared server group's lifetime and the process-global
+// simulation settings: metrics on (so /v1/health serves a live snapshot)
+// and a modest runner bound (cells in these tests are tiny; the daemon's
+// own queue/worker bounds are what is under test).
+func TestMain(m *testing.M) {
+	metrics.Enable(true)
+	runner.SetParallelism(4)
+	code := m.Run()
+	closeShared()
+	os.Exit(code)
+}

@@ -1,0 +1,127 @@
+// Package zsimdtest is the integration-test harness for the zsimd
+// simulation daemon, structured after the uplotest methodology:
+//
+//   - every interaction goes through the HTTP API and the client package —
+//     tests never reach into server internals;
+//   - group creation is the expensive step, so tests share a server group
+//     whenever the scenario allows (SharedGroup); only fault scenarios
+//     build private groups with injected dependencies;
+//   - faults that cannot be reliably triggered through the API (store
+//     write failures, a worker panicking mid-cell, cells slow enough to
+//     race cancellation) are injected through the dependencies submodule.
+package zsimdtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zsim/internal/zsimd"
+	"zsim/internal/zsimd/client"
+)
+
+// Timeout bounds every harness wait. Simulation cells at small scale run
+// in milliseconds; a minute means a hang, not a slow host.
+const Timeout = 60 * time.Second
+
+// Group is one running daemon plus the client every test talks through.
+// The server handle itself is deliberately not exposed: the methodology is
+// API-only, so a test that needs server state has a missing endpoint, not
+// a missing accessor.
+type Group struct {
+	ts  *httptest.Server
+	srv *zsimd.Server
+	c   *client.Client
+}
+
+// NewGroup starts a daemon with the given configuration and returns its
+// group. The daemon and its listener are torn down with the test; tests
+// that need an earlier shutdown (e.g. restart-persistence scenarios) may
+// call Close themselves.
+func NewGroup(t testing.TB, cfg zsimd.Config) *Group {
+	t.Helper()
+	srv := zsimd.New(cfg)
+	ts := httptest.NewServer(srv)
+	g := &Group{ts: ts, srv: srv, c: client.New(ts.URL)}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// Close shuts the group's daemon down. Idempotent.
+func (g *Group) Close() {
+	g.ts.Close()
+	g.srv.Close()
+}
+
+// C returns the group's API client.
+func (g *Group) C() *client.Client { return g.c }
+
+// URL returns the daemon's base URL.
+func (g *Group) URL() string { return g.ts.URL }
+
+// shared is the default (no-fault) group, built once and reused by every
+// test that only needs production behaviour; closeShared tears it down
+// from TestMain.
+var shared struct {
+	once sync.Once
+	ts   *httptest.Server
+	srv  *zsimd.Server
+	c    *client.Client
+}
+
+// SharedClient returns the client of the process-shared default group,
+// creating the group on first use. Tests that inject faults or need
+// private queue/store sizing must use NewGroup instead.
+func SharedClient() *client.Client {
+	shared.once.Do(func() {
+		shared.srv = zsimd.New(zsimd.Config{QueueDepth: 32, Workers: 2})
+		shared.ts = httptest.NewServer(shared.srv)
+		shared.c = client.New(shared.ts.URL)
+	})
+	return shared.c
+}
+
+// SharedURL returns the shared group's base URL, for the rare test that
+// must drive the HTTP API below the client (e.g. malformed request
+// bodies the client's own marshaler would refuse to produce).
+func SharedURL() string {
+	SharedClient()
+	return shared.ts.URL
+}
+
+// closeShared tears down the shared group (TestMain only).
+func closeShared() {
+	if shared.ts != nil {
+		shared.ts.Close()
+		shared.srv.Close()
+	}
+}
+
+// Ctx returns the harness's bounded context for one test.
+func Ctx(t testing.TB) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// SubmitAndWait submits one job through c and waits until it is done,
+// returning its fetched results.
+func SubmitAndWait(t testing.TB, ctx context.Context, c *client.Client, cells ...zsimd.CellSpec) (zsimd.JobStatus, zsimd.JobResult) {
+	t.Helper()
+	st, err := c.Submit(ctx, cells...)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.WaitDone(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	return st, res
+}
