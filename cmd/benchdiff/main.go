@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchdiff OLD.json NEW.json [-tolerance 25%] [-metric-tolerance 10%] [-min-ms 10]
+//	benchdiff OLD.json NEW.json [-tolerance 25%] [-metric-tolerance 10%] [-min-ms 10] [-metrics-only]
 //
 // Flags may appear before or after the two file arguments.
 package main
@@ -27,6 +27,11 @@ Compares two BENCH_*.json records and exits 1 on regression.
   -metric-tolerance T  allowed drift for watched simulated metrics (default: -tolerance)
   -min-ms MS           per-experiment floor: entries with a baseline below
                        MS ms are informational only (default 10)
+  -metrics-only        compare only the watched simulated metrics; timings and
+                       throughput are informational, and metric drift in either
+                       direction past -metric-tolerance fails (the identity gate
+                       for runs that legitimately differ in wall time, e.g.
+                       serial vs -kernel-shards)
 
 T accepts "25%" or a fraction like "0.25".
 `
@@ -39,6 +44,7 @@ type cliArgs struct {
 	tolerance        float64
 	metricTolerance  float64
 	minMS            float64
+	metricsOnly      bool
 }
 
 func parseArgs(argv []string) (*cliArgs, error) {
@@ -74,6 +80,8 @@ func parseArgs(argv []string) (*cliArgs, error) {
 				return nil, err
 			}
 			a.metricTolerance = t
+		case "-metrics-only", "--metrics-only":
+			a.metricsOnly = true
 		case "-min-ms", "--min-ms":
 			v, err := flagVal()
 			if err != nil {
@@ -125,8 +133,9 @@ func main() {
 	}
 
 	opts := benchrec.Options{
-		Tolerance: a.tolerance,
-		MinWallMS: a.minMS,
+		Tolerance:   a.tolerance,
+		MinWallMS:   a.minMS,
+		MetricsOnly: a.metricsOnly,
 	}
 	if a.metricTolerance >= 0 {
 		opts.MetricTolerance = a.metricTolerance

@@ -29,6 +29,11 @@ func TestParseArgs(t *testing.T) {
 			argv: []string{"a.json", "b.json"},
 			want: cliArgs{oldPath: "a.json", newPath: "b.json", tolerance: 0.25, metricTolerance: -1, minMS: 10},
 		},
+		{
+			name: "metrics-only identity gate",
+			argv: []string{"a.json", "b.json", "-metrics-only", "-metric-tolerance", "0%"},
+			want: cliArgs{oldPath: "a.json", newPath: "b.json", tolerance: 0.25, metricTolerance: 0, minMS: 10, metricsOnly: true},
+		},
 		{name: "one file", argv: []string{"a.json"}, err: true},
 		{name: "three files", argv: []string{"a", "b", "c"}, err: true},
 		{name: "unknown flag", argv: []string{"a.json", "b.json", "-bogus"}, err: true},

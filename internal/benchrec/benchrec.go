@@ -24,6 +24,7 @@ type Record struct {
 	Scale             string            `json:"scale"`
 	Procs             int               `json:"procs"`
 	Parallel          int               `json:"parallel"`
+	KernelShards      int               `json:"kernel_shards,omitempty"`
 	GOMAXPROCS        int               `json:"gomaxprocs"`
 	NumCPU            int               `json:"num_cpu"`
 	Experiments       []Entry           `json:"experiments"`
@@ -125,6 +126,13 @@ type Options struct {
 	// below it are reported but never fail the gate (sub-floor timings are
 	// noise-dominated on shared CI hosts).
 	MinWallMS float64
+	// MetricsOnly compares only the watched simulated metrics: timings and
+	// throughput are reported informationally but never regress, and metric
+	// drift in EITHER direction past MetricTolerance is a regression. This
+	// is the identity gate between two records of the same simulation that
+	// legitimately differ in wall time — e.g. the serial vs sharded kernel,
+	// whose simulated metrics must not drift at all (tolerance 0).
+	MetricsOnly bool
 }
 
 // Diff compares new against old and returns every delta plus whether any
@@ -136,7 +144,9 @@ type Options struct {
 func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 	tol := opts.Tolerance
 	mtol := opts.MetricTolerance
-	if mtol == 0 {
+	if mtol == 0 && !opts.MetricsOnly {
+		// Metrics-only gates take MetricTolerance literally (0 = exact);
+		// otherwise 0 means "same as the timing tolerance".
 		mtol = tol
 	}
 
@@ -145,6 +155,8 @@ func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 		switch {
 		case o <= 0:
 			d.Note = "no baseline"
+		case opts.MetricsOnly:
+			d.Note = "metrics-only, informational"
 		case o < floor:
 			d.Note = fmt.Sprintf("below %gms floor, informational", floor)
 		case n > o*(1+tol):
@@ -181,7 +193,9 @@ func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 	{
 		o, n := old.ExperimentsPerSec, new.ExperimentsPerSec
 		d := Delta{Name: "experiments_per_sec", Old: o, New: n, Pct: pctDelta(o, n)}
-		if o > 0 && n < o*(1-tol) {
+		if opts.MetricsOnly {
+			d.Note = "metrics-only, informational"
+		} else if o > 0 && n < o*(1-tol) {
 			d.Regression = true
 		}
 		deltas = append(deltas, d)
@@ -199,6 +213,10 @@ func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 			switch {
 			case o == 0:
 				d.Note = "no baseline"
+			case opts.MetricsOnly && (n > o*(1+mtol) || n < o*(1-mtol)):
+				// Identity gate: drift in either direction is a failure.
+				d.Regression = true
+			case opts.MetricsOnly:
 			case w.worse > 0 && n > o*(1+mtol):
 				d.Regression = true
 			case w.worse < 0 && n < o*(1-mtol):

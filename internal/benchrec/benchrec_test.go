@@ -218,3 +218,39 @@ func TestFormatMarksRegressions(t *testing.T) {
 		t.Fatalf("missing header:\n%s", out)
 	}
 }
+
+// TestDiffMetricsOnly pins the identity gate: with MetricsOnly, wall-time
+// and throughput deltas never regress (only the simulated metrics count),
+// and any metric drift — in either direction, including an improvement —
+// past MetricTolerance fails. This is the serial-vs-sharded kernel gate:
+// wall times legitimately differ, simulated metrics must not.
+func TestDiffMetricsOnly(t *testing.T) {
+	opts := Options{MetricsOnly: true} // MetricTolerance 0 = exact identity
+
+	// Wildly different timings, identical metrics: clean.
+	slow := sampleRecord()
+	for i := range slow.Experiments {
+		slow.Experiments[i].WallMS *= 10
+	}
+	slow.TotalWallMS *= 10
+	slow.ExperimentsPerSec /= 10
+	deltas, regressed := Diff(sampleRecord(), slow, opts)
+	if regressed {
+		t.Fatalf("timing drift regressed a metrics-only diff:\n%s", Format(deltas, opts))
+	}
+
+	// A metric IMPROVEMENT (fewer switches) still fails the identity gate.
+	drift := sampleRecord()
+	s := *drift.Metrics
+	s.Counters = map[string]uint64{"sim.switches": 999, "sim.fastpath_hits": 9000, "mesh.msgs": 500}
+	drift.Metrics = &s
+	if _, regressed := Diff(sampleRecord(), drift, opts); !regressed {
+		t.Fatal("one-count metric drift passed the exact identity gate")
+	}
+
+	// With a nonzero MetricTolerance, small drift passes, large fails.
+	loose := Options{MetricsOnly: true, MetricTolerance: 0.01}
+	if _, regressed := Diff(sampleRecord(), drift, loose); regressed {
+		t.Fatal("0.1% drift failed a 1% metrics-only gate")
+	}
+}

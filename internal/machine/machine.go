@@ -68,9 +68,18 @@ func New(kind memsys.Kind, p memsys.Params) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serial kernel by default; with KernelShards the scheduler is
+	// partitioned by home node with a conservative synchronization window
+	// derived from the minimum cross-shard mesh latency. The schedule of
+	// global operations — every Env trap — is bit-identical either way.
+	eng := sim.NewEngine(p.Procs)
+	if shards := p.ShardCount(); shards > 0 {
+		eng = sim.NewEngineSharded(p.Procs, shards, p.ShardOfProc)
+		eng.SetLookahead(net.MinCrossShardLatency(p.ShardOfNode, p.CtrlBytes))
+	}
 	m := &Machine{
 		Params:   p,
-		Eng:      sim.NewEngine(p.Procs),
+		Eng:      eng,
 		Net:      net,
 		Mem:      mem,
 		Heap:     shm.NewHeap(p.LineSize),

@@ -266,3 +266,73 @@ func TestTransferCyclesMinimumOne(t *testing.T) {
 		t.Fatalf("zero-byte transfer = %d, want 1", got)
 	}
 }
+
+func TestKernelShardsValidate(t *testing.T) {
+	p := Default(8)
+	p.KernelShards = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative KernelShards validated")
+	}
+	p.KernelShards = MaxProcs + 1
+	if err := p.Validate(); err == nil {
+		t.Error("KernelShards above MaxProcs validated")
+	}
+	for _, s := range []int{0, 1, 4, MaxProcs} {
+		p.KernelShards = s
+		if err := p.Validate(); err != nil {
+			t.Errorf("KernelShards = %d: %v", s, err)
+		}
+	}
+}
+
+func TestShardCountClamp(t *testing.T) {
+	p := Default(8)
+	cases := []struct{ set, want int }{
+		{0, 0}, {1, 1}, {4, 4}, {8, 8}, {9, 8}, {64, 8},
+	}
+	for _, c := range cases {
+		p.KernelShards = c.set
+		if got := p.ShardCount(); got != c.want {
+			t.Errorf("ShardCount with KernelShards=%d = %d, want %d", c.set, got, c.want)
+		}
+	}
+}
+
+// TestShardOfNodeBands pins the shard map: contiguous, balanced bands of
+// row-major node numbers, covering every shard index, monotone in the node
+// number (so a shard is a band of adjacent mesh rows).
+func TestShardOfNodeBands(t *testing.T) {
+	p := Default(16)
+	for _, shards := range []int{1, 2, 3, 4, 16} {
+		p.KernelShards = shards
+		sizes := make([]int, shards)
+		prev := 0
+		for node := 0; node < p.Nodes(); node++ {
+			s := p.ShardOfNode(node)
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d: ShardOfNode(%d) = %d out of range", shards, node, s)
+			}
+			if s < prev {
+				t.Fatalf("shards=%d: shard map not monotone at node %d", shards, node)
+			}
+			prev = s
+			sizes[s]++
+		}
+		for s, n := range sizes {
+			if n == 0 {
+				t.Errorf("shards=%d: shard %d empty", shards, s)
+			}
+			if min := p.Nodes() / shards; n < min || n > min+1 {
+				t.Errorf("shards=%d: shard %d has %d nodes, want %d or %d", shards, s, n, min, min+1)
+			}
+		}
+	}
+	// Streams route through their home node's shard.
+	p = DefaultMT(16, 2) // 8 nodes, 2 threads each
+	p.KernelShards = 2
+	for stream := 0; stream < 16; stream++ {
+		if got, want := p.ShardOfProc(stream), p.ShardOfNode(stream/2); got != want {
+			t.Errorf("ShardOfProc(%d) = %d, want node shard %d", stream, got, want)
+		}
+	}
+}

@@ -189,3 +189,28 @@ func BenchmarkSend(b *testing.B) {
 		n.Send(i%16, (i*7)%16, 40, Time(i))
 	}
 }
+
+// TestMinCrossShardLatency pins the sharded kernel's lookahead on the 4x4
+// default mesh: with two row-band shards the closest cross-shard pair is
+// mesh-adjacent (one hop), so the lookahead is exactly one hop plus one
+// control-message transfer. A single shard has no cross-shard pairs and
+// degenerates to the always-safe 0.
+func TestMinCrossShardLatency(t *testing.T) {
+	p := memsys.Default(16)
+	n := New(p)
+
+	p.KernelShards = 2
+	got := n.MinCrossShardLatency(p.ShardOfNode, p.CtrlBytes)
+	want := p.HopLatency + p.TransferCycles(p.CtrlBytes) // 1 hop across the band boundary
+	if got != want {
+		t.Errorf("two-band lookahead = %d, want %d", got, want)
+	}
+	if adj := n.UncontendedLatency(4, 8, p.CtrlBytes); got != adj {
+		t.Errorf("lookahead %d != adjacent boundary pair latency %d", got, adj)
+	}
+
+	p.KernelShards = 1
+	if got := n.MinCrossShardLatency(p.ShardOfNode, p.CtrlBytes); got != 0 {
+		t.Errorf("single-shard lookahead = %d, want 0", got)
+	}
+}

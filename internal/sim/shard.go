@@ -1,0 +1,453 @@
+// Sharded execution mode: the conservative parallel-discrete-event variant
+// of the cooperative engine (the ROADMAP's "intra-run PDES" item, after
+// PARSIR's conservative multicore design).
+//
+// The processor set is partitioned across S shards (the machine layer
+// assigns processors by home node, so a shard is a contiguous block of mesh
+// nodes). Each shard owns a private run queue. Execution alternates between
+// two phases:
+//
+//   - Serial phase (the window boundary): the coordinator pops the single
+//     globally minimal (clock, id) processor whose pending operation is
+//     global-scope and runs it alone, exactly like the serial engine. Every
+//     operation that can touch shared simulation state — all machine/Env
+//     traps, and every Unblock — happens here, so the sequence of global
+//     operations is bit-identical to the serial engine's dispatch order.
+//
+//   - Local window: let B be the minimal global-scope head across all
+//     shards. Every shard whose head is a local-scope operation strictly
+//     below the window horizon runs concurrently on its own goroutine,
+//     dispatching its processors in per-shard (clock, id) order until its
+//     head reaches the horizon, turns global, or the shard runs dry. The
+//     horizon is B extended by the conservative lookahead (the minimum
+//     cross-shard mesh latency, see Engine.SetLookahead and
+//     mesh.MinCrossShardLatency): no effect of the pending global operation
+//     at B can reach another shard's private state earlier than B +
+//     lookahead, because cross-shard interactions travel the mesh and
+//     Unblock is only legal from global scope.
+//
+// Local-scope operations (SyncLocal) promise to touch only state private to
+// the calling processor or its shard, so their host-time interleaving
+// across shards cannot change any simulated outcome; within a shard they
+// are dispatched in exactly the (clock, id) order the serial engine would
+// use. The merged schedule is therefore equivalent to the serial one: the
+// global subsequence is identical, and the local operations commute with
+// everything that separates their dispatch from its serial position. The
+// machine layer marks every protocol operation global-scope, which is why
+// sharded machine runs are byte-identical to serial runs — including the
+// sim.switches / sim.fastpath_hits / sim.blocks counters and the run-queue
+// depth histogram, which benchdiff gates at 0.0% drift.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zsim/internal/metrics"
+)
+
+// scope classifies a processor's pending operation: global-scope operations
+// (Sync, and conservatively everything whose scope is unknown — initial
+// dispatch, wake-ups) may touch shared simulation state and are serialized
+// at window boundaries; local-scope operations (SyncLocal) touch only
+// processor/shard-private state and may run concurrently inside a window.
+type scope uint8
+
+const (
+	scopeGlobal scope = iota
+	scopeLocal
+)
+
+// phaseKind says who is dispatching: the coordinator (serial phase, the
+// window boundary) or the per-shard window loops.
+type phaseKind uint8
+
+const (
+	phaseSerial phaseKind = iota
+	phaseLocal
+)
+
+// shard is one partition of the processor set with its own run queue. Its
+// mutable state is owned by the coordinator between windows and by the
+// shard's window goroutine inside one; the hand-off in both directions is a
+// channel operation, so there is no concurrent access.
+type shard struct {
+	id   int
+	eng  *Engine
+	runq procHeap
+	// yield receives the trap messages of this shard's processors. The
+	// currently running processor always yields to its own shard's channel;
+	// in the serial phase the coordinator listens on the dispatched
+	// processor's shard channel.
+	yield chan yieldMsg
+
+	// Window-phase accounting (the serial phase accounts on the Engine).
+	switches     uint64 // window dispatches
+	blocks       uint64 // Block calls observed inside windows
+	fastPathHits uint64 // SyncLocal inline returns inside windows
+	dispatches   uint64 // total dispatches attributed to this shard (both phases)
+
+	// Per-window completion results, harvested by the coordinator at the
+	// window barrier.
+	windowDone   int
+	windowFinish Time
+}
+
+// horizon is the exclusive upper bound of a local window in (clock, id)
+// order; inf means no global-scope operation is pending anywhere, so local
+// work may run to completion.
+type horizon struct {
+	clock Time
+	id    int
+	inf   bool
+}
+
+// admits reports whether p's pending operation falls strictly inside the
+// window. Processors tied with the bounding global operation at the same
+// (clock, id)… cannot exist (ids are unique), but a clock tie with a larger
+// id is excluded exactly as the serial heap would order it.
+func (h horizon) admits(p *Proc) bool {
+	if h.inf {
+		return true
+	}
+	if p.clock != h.clock {
+		return p.clock < h.clock
+	}
+	return p.id < h.id
+}
+
+// NewEngineSharded creates an engine with n processors partitioned across
+// shards run queues; shardOf maps a processor id to its shard in
+// [0, shards). The schedule of global-scope operations is bit-identical to
+// NewEngine's; local-scope operations (SyncLocal) additionally run
+// concurrently across shards inside conservative windows. One shard is the
+// degenerate case: the full window protocol runs, with every processor in
+// shard 0.
+func NewEngineSharded(n, shards int, shardOf func(proc int) int) *Engine {
+	if shards <= 0 {
+		panic("sim: sharded engine needs at least one shard")
+	}
+	e := NewEngine(n)
+	e.shards = make([]*shard, shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{id: i, eng: e, yield: make(chan yieldMsg)}
+	}
+	for _, p := range e.procs {
+		s := shardOf(p.id)
+		if s < 0 || s >= shards {
+			panic(fmt.Sprintf("sim: processor %d assigned to shard %d, want [0,%d)", p.id, s, shards))
+		}
+		p.shd = e.shards[s]
+	}
+	e.phaseDone = make(chan *shard)
+	return e
+}
+
+// Shards returns the shard count (0 for a serial engine).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// SetLookahead sets the conservative cross-shard lookahead: the minimum
+// virtual time any effect of a global-scope operation needs to reach
+// another shard's private state. The machine layer derives it from the
+// minimum cross-shard mesh hop latency (mesh.MinCrossShardLatency). Local
+// windows extend to the minimal pending global operation plus this bound.
+// Zero (the default) is always safe.
+func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
+
+// Lookahead returns the configured cross-shard lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// ShardOf returns the shard index of processor i (0 for a serial engine).
+func (e *Engine) ShardOf(i int) int {
+	if p := e.procs[i]; p.shd != nil {
+		return p.shd.id
+	}
+	return 0
+}
+
+// SyncLocal is Sync for a local-scope operation: one that touches only
+// state private to this processor or its shard (pure computation steps,
+// shard-private bookkeeping). On a serial engine it is exactly Sync. On a
+// sharded engine it lets the operation run concurrently with other shards
+// inside the current window; the per-shard dispatch order is still
+// (clock, id). A SyncLocal operation must not mutate shared simulation
+// state and must not Unblock anything — Unblock from inside a local window
+// panics.
+func (p *Proc) SyncLocal() {
+	if p.eng.shards == nil {
+		p.Sync()
+		return
+	}
+	p.syncSharded(scopeLocal)
+}
+
+// syncSharded is the sharded-mode trap: record the pending operation's
+// scope, take the fast path when dispatch order provably cannot change, and
+// otherwise yield to this processor's shard channel.
+func (p *Proc) syncSharded(sc scope) {
+	e := p.eng
+	if e.aborting {
+		panic(abortRun{})
+	}
+	p.pscope = sc
+	s := p.shd
+	if e.phase == phaseLocal {
+		// Inside a window only this shard's loop can dispatch p; the inline
+		// return is legal while p stays the shard minimum and inside the
+		// horizon. Global-scope operations always yield: they must wait for
+		// the window boundary.
+		if sc == scopeLocal && (len(s.runq) == 0 || procLess(p, s.runq[0])) && e.horizon.admits(p) {
+			s.fastPathHits++
+			return
+		}
+	} else if e.precedesAllHeads(p) {
+		// Serial phase: p runs alone; if it still precedes every shard's
+		// head it is exactly the processor the coordinator would dispatch
+		// next — the same condition as the serial engine's fast path.
+		e.fastPathHits++
+		return
+	}
+	s.yield <- yieldMsg{p, yieldRunnable}
+	<-p.resume
+}
+
+// precedesAllHeads reports whether p orders before every pending processor
+// across all shards — the sharded equivalent of "precedes the run-queue
+// head".
+func (e *Engine) precedesAllHeads(p *Proc) bool {
+	for _, s := range e.shards {
+		if len(s.runq) > 0 && !procLess(p, s.runq[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runnable returns the total number of queued processors across all shards.
+func (e *Engine) runnable() int {
+	n := 0
+	for _, s := range e.shards {
+		n += len(s.runq)
+	}
+	return n
+}
+
+// runSharded is Run for a sharded engine: alternate serial window
+// boundaries (one global-scope operation at a time, in exactly the serial
+// engine's (clock, id) order) with concurrent local windows.
+func (e *Engine) runSharded(body func(p *Proc)) Time {
+	e.aborting = false
+	e.phase = phaseSerial
+	e.curShard = nil
+	for _, s := range e.shards {
+		s.runq = s.runq[:0]
+		s.switches, s.blocks, s.fastPathHits, s.dispatches = 0, 0, 0, 0
+		s.windowDone, s.windowFinish = 0, 0
+	}
+	for _, p := range e.procs {
+		p.clock = 0
+		p.blocked = false
+		p.done = false
+		p.pscope = scopeGlobal // a body's first operation has unknown scope
+	}
+	for _, p := range e.procs {
+		p := p
+		p.shd.runq.push(p)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortRun); ok {
+						e.drained <- struct{}{}
+						return
+					}
+					panic(r)
+				}
+			}()
+			<-p.resume
+			if e.aborting {
+				panic(abortRun{})
+			}
+			body(p)
+			p.done = true
+			if e.aborting {
+				panic(abortRun{})
+			}
+			p.shd.yield <- yieldMsg{p, yieldDone}
+		}()
+	}
+
+	remaining := len(e.procs)
+	var finish Time
+	for remaining > 0 {
+		// Survey the shard heads: the minimal global-scope head bounds the
+		// next window; local-scope heads inside the horizon may run
+		// concurrently.
+		var bound *Proc
+		for _, s := range e.shards {
+			if len(s.runq) == 0 || s.runq[0].pscope != scopeGlobal {
+				continue
+			}
+			if bound == nil || procLess(s.runq[0], bound) {
+				bound = s.runq[0]
+			}
+		}
+		hz := horizon{inf: true}
+		if bound != nil {
+			hc := bound.clock + e.lookahead
+			if hc < bound.clock { // saturate on overflow
+				hc = ^Time(0)
+			}
+			hz = horizon{clock: hc, id: bound.id}
+		}
+		active := 0
+		for _, s := range e.shards {
+			if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
+				active++
+			}
+		}
+
+		if active > 0 {
+			// Local window: every shard with admitted local work advances
+			// concurrently up to the horizon.
+			e.phase = phaseLocal
+			e.horizon = hz
+			e.windows++
+			for _, s := range e.shards {
+				if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
+					go s.runWindow()
+				}
+			}
+			for i := 0; i < active; i++ {
+				<-e.phaseDone
+			}
+			e.phase = phaseSerial
+			// Harvest in shard order so the aggregation is deterministic.
+			for _, s := range e.shards {
+				remaining -= s.windowDone
+				s.windowDone = 0
+				if s.windowFinish > finish {
+					finish = s.windowFinish
+				}
+			}
+			continue
+		}
+
+		if bound == nil {
+			// No runnable processor anywhere: deadlock.
+			dump := e.stateDump()
+			e.drainDeadlocked()
+			panic("sim: deadlock\n" + dump)
+		}
+
+		// Window boundary: run the single minimal global-scope operation,
+		// exactly as the serial engine would.
+		s := bound.shd
+		p, _ := s.runq.pop()
+		e.switches++
+		s.dispatches++
+		e.mRunqDepth.Observe(uint64(e.runnable()))
+		e.curShard = s
+		p.resume <- struct{}{}
+		m := <-s.yield
+		switch m.kind {
+		case yieldRunnable:
+			m.p.shd.runq.push(m.p)
+		case yieldBlocked:
+			e.blocks++
+		case yieldDone:
+			remaining--
+			if m.p.clock > finish {
+				finish = m.p.clock
+			}
+		}
+	}
+	return finish
+}
+
+// runWindow drains this shard's admitted local-scope work for one window,
+// then reports at the barrier. It runs on its own goroutine; its processors
+// run strictly one at a time within the shard, in (clock, id) order.
+func (s *shard) runWindow() {
+	e := s.eng
+	hz := e.horizon
+	for {
+		if len(s.runq) == 0 || s.runq[0].pscope != scopeLocal || !hz.admits(s.runq[0]) {
+			break
+		}
+		p, _ := s.runq.pop()
+		s.switches++
+		s.dispatches++
+		e.mRunqDepth.Observe(uint64(len(s.runq)))
+		p.resume <- struct{}{}
+		m := <-s.yield
+		switch m.kind {
+		case yieldRunnable:
+			s.runq.push(m.p)
+		case yieldBlocked:
+			s.blocks++
+		case yieldDone:
+			s.windowDone++
+			if m.p.clock > s.windowFinish {
+				s.windowFinish = m.p.clock
+			}
+		}
+	}
+	e.phaseDone <- s
+}
+
+// drainShardedRunq pops every queued processor across all shards during the
+// deadlock drain.
+func (e *Engine) drainShardedRunq() (p *Proc, ok bool) {
+	for _, s := range e.shards {
+		if q, got := s.runq.pop(); got {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// shardMetrics publishes the sharded-mode counters: window advances,
+// cross-shard wake-up deliveries, per-shard window dispatches, and the
+// dispatch imbalance (max − min dispatches attributed to a shard, both
+// phases counted).
+func (e *Engine) shardMetrics(r *metrics.Registry) {
+	r.Counter("sim.shard.windows").Add(e.windows)
+	r.Counter("sim.shard.cross_unblocks").Add(e.xUnblocks)
+	var local, min, max uint64
+	for i, s := range e.shards {
+		local += s.switches
+		if i == 0 || s.dispatches < min {
+			min = s.dispatches
+		}
+		if s.dispatches > max {
+			max = s.dispatches
+		}
+	}
+	r.Counter("sim.shard.local_dispatches").Add(local)
+	r.Gauge("sim.shard.imbalance").Set(int64(max - min))
+}
+
+// shardStateDump appends the sharded sections of the deadlock report: the
+// window/lookahead state and each shard's run-queue contents in (clock, id)
+// order with pending-operation scopes.
+func (e *Engine) shardStateDump(b *strings.Builder) {
+	fmt.Fprintf(b, "  shards=%d lookahead=%d windows=%d cross_unblocks=%d\n",
+		len(e.shards), e.lookahead, e.windows, e.xUnblocks)
+	for _, s := range e.shards {
+		q := append([]*Proc(nil), s.runq...)
+		sort.Slice(q, func(i, j int) bool { return procLess(q[i], q[j]) })
+		fmt.Fprintf(b, "  shard %-2d dispatches=%d runq=[", s.id, s.dispatches)
+		for i, p := range q {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			sc := "global"
+			if p.pscope == scopeLocal {
+				sc = "local"
+			}
+			fmt.Fprintf(b, "P%d@%d/%s", p.id, p.clock, sc)
+		}
+		b.WriteString("]\n")
+	}
+}

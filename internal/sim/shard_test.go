@@ -1,0 +1,430 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// evenOdd assigns processors to shards by parity — deliberately not
+// contiguous, to exercise arbitrary assignments.
+func evenOdd(p int) int { return p % 2 }
+
+// blockShards splits n processors into s contiguous blocks.
+func blockShards(n, s int) func(int) int {
+	return func(p int) int { return p * s / n }
+}
+
+// TestShardedGlobalOrderMatchesSerial drives an all-global-scope workload
+// (every trap is Sync) on the serial engine and on sharded engines at 1, 2,
+// and 4 shards, and requires the dispatch order of global operations, the
+// finish time, and the scheduler counters to be bit-identical: for machine
+// workloads (which are all-global) the sharded kernel must be
+// indistinguishable from the serial one.
+func TestShardedGlobalOrderMatchesSerial(t *testing.T) {
+	const n = 8
+	type outcome struct {
+		order  []int
+		finish Time
+		sw     uint64
+		fp     uint64
+		bl     uint64
+	}
+	exec := func(e *Engine) outcome {
+		var o outcome
+		o.finish = e.Run(func(p *Proc) {
+			for i := 0; i < 6; i++ {
+				p.Advance(Time(1 + (p.ID()*7+i*3)%5))
+				p.Sync()
+				o.order = append(o.order, p.ID())
+			}
+		})
+		o.sw, o.fp, o.bl = e.Switches(), e.FastPathHits(), e.Blocks()
+		return o
+	}
+
+	want := exec(NewEngine(n))
+	for _, shards := range []int{1, 2, 4} {
+		got := exec(NewEngineSharded(n, shards, blockShards(n, shards)))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: outcome diverged from serial:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+	// A non-contiguous assignment must not change the schedule either.
+	if got := exec(NewEngineSharded(n, 2, evenOdd)); !reflect.DeepEqual(got, want) {
+		t.Errorf("even/odd shards: outcome diverged from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedLocalWindowsRunConcurrently pins the point of sharding: an
+// all-local workload finishes with (nearly) every trap on the per-shard
+// fast path and advances at most a handful of windows, i.e. shards run
+// their processors without any per-operation coordination.
+func TestShardedLocalWindowsRunConcurrently(t *testing.T) {
+	const n, iters = 4, 1000
+	e := NewEngineSharded(n, n, blockShards(n, n))
+	finish := e.Run(func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.Advance(1)
+			p.SyncLocal()
+		}
+	})
+	if finish != iters {
+		t.Errorf("finish = %d, want %d", finish, iters)
+	}
+	if e.Windows() == 0 {
+		t.Error("no local window advanced for an all-local workload")
+	}
+	// First dispatch of each processor is a serialized global-scope start;
+	// after that every SyncLocal should hit the per-shard fast path.
+	if hits := e.FastPathHits(); hits < uint64(n*(iters-2)) {
+		t.Errorf("fast-path hits = %d, want >= %d", hits, n*(iters-2))
+	}
+}
+
+// TestShardedLocalDeterministic runs a mixed local/global workload twice
+// and at several shard counts: per-processor results must be identical
+// everywhere (local operations only touch processor-private state, so the
+// window protocol cannot change them).
+func TestShardedLocalDeterministic(t *testing.T) {
+	const n = 8
+	exec := func(e *Engine) ([n]Time, Time) {
+		var clocks [n]Time
+		finish := e.Run(func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Advance(Time(1 + (p.ID()+i)%3))
+				if i%5 == 0 {
+					p.Sync() // periodic global operation bounds the windows
+				} else {
+					p.SyncLocal()
+				}
+			}
+			clocks[p.ID()] = p.Clock()
+		})
+		return clocks, finish
+	}
+	wantClocks, wantFinish := exec(NewEngine(n))
+	for _, shards := range []int{1, 2, 4} {
+		for rep := 0; rep < 3; rep++ {
+			clocks, finish := exec(NewEngineSharded(n, shards, blockShards(n, shards)))
+			if clocks != wantClocks || finish != wantFinish {
+				t.Fatalf("shards=%d rep=%d: clocks=%v finish=%d, want %v / %d",
+					shards, rep, clocks, finish, wantClocks, wantFinish)
+			}
+		}
+	}
+}
+
+// TestShardedBlockUnblock exercises a cross-shard wake-up from a
+// global-scope operation: P1 (shard 1) parks, P0 (shard 0) wakes it at a
+// later time; the woken processor resumes with its clock advanced, exactly
+// as on the serial engine.
+func TestShardedBlockUnblock(t *testing.T) {
+	e := NewEngineSharded(2, 2, evenOdd)
+	var woke Time
+	finish := e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			p.Block("waiting for P0")
+			woke = p.Clock()
+			return
+		}
+		p.Advance(100)
+		p.Sync()
+		e.Proc(1).Unblock(p.Clock() + 7)
+	})
+	if woke != 107 {
+		t.Errorf("woken clock = %d, want 107", woke)
+	}
+	if finish != 107 {
+		t.Errorf("finish = %d, want 107", finish)
+	}
+	if e.CrossShardUnblocks() != 1 {
+		t.Errorf("cross-shard unblocks = %d, want 1", e.CrossShardUnblocks())
+	}
+}
+
+// TestShardedUnblockFromWindowPanics pins the safety rule: a wake-up from
+// inside a local window (a local-scope operation) is a contract violation
+// and must panic rather than race on another shard's run queue. The panic
+// fires on the offending processor's goroutine, so the body recovers it
+// inline; the never-woken waiter then deadlocks the run, which the test
+// recovers (exercising the sharded drain on the way out).
+func TestShardedUnblockFromWindowPanics(t *testing.T) {
+	e := NewEngineSharded(2, 2, evenOdd)
+	var msg string
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no deadlock panic after the aborted wake-up")
+			}
+		}()
+		e.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				p.Block("waiting forever")
+				return
+			}
+			// Two local steps: the first is trapped in the serial phase, the
+			// second is dispatched inside a local window (P1 is parked, so
+			// the window's horizon is infinite).
+			p.Advance(1)
+			p.SyncLocal()
+			p.Advance(1)
+			p.SyncLocal()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						msg = fmt.Sprint(r)
+					}
+				}()
+				e.Proc(1).Unblock(p.Clock())
+			}()
+		})
+	}()
+	if !strings.Contains(msg, "local shard window") {
+		t.Errorf("Unblock panic = %q, want the local-window message", msg)
+	}
+}
+
+// TestShardedHorizonBoundaryTie pins the window-boundary tie rule: a
+// local-scope operation tied with the bounding global operation at the same
+// clock runs strictly after it when its id is larger, and strictly before
+// when its id is smaller — the serial (clock, id) order.
+func TestShardedHorizonBoundaryTie(t *testing.T) {
+	g := &Proc{id: 1, clock: 10}
+	hz := horizon{clock: 10, id: 1}
+	if hz.admits(&Proc{id: 2, clock: 10}) {
+		t.Error("(10, 2) admitted at horizon (10, 1); ties at the boundary must wait")
+	}
+	if !hz.admits(&Proc{id: 0, clock: 10}) {
+		t.Error("(10, 0) not admitted at horizon (10, 1)")
+	}
+	if !hz.admits(&Proc{id: 5, clock: 9}) {
+		t.Error("(9, 5) not admitted at horizon (10, 1)")
+	}
+	if hz.admits(g) {
+		t.Error("the bounding operation admitted into its own window")
+	}
+	if !(horizon{inf: true}).admits(&Proc{id: 0, clock: ^Time(0)}) {
+		t.Error("infinite horizon rejected a processor")
+	}
+}
+
+// TestShardedLookaheadExtendsWindow pins the mesh-latency lookahead: with
+// SetLookahead(L), local operations strictly below B+L run inside the window
+// bounded by a global operation at B. Processor 1's global bound advances in
+// small steps, so with zero lookahead processor 0 hits the horizon at every
+// step (a slow yield and a fresh window each time), while a lookahead wider
+// than the step glides over most bounds on the fast path.
+func TestShardedLookaheadExtendsWindow(t *testing.T) {
+	run := func(lookahead Time) (fast, switches, windows uint64) {
+		e := NewEngineSharded(2, 2, evenOdd)
+		e.SetLookahead(lookahead)
+		e.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				// Global bound stepping 10, 20, ..., 100.
+				for i := 0; i < 10; i++ {
+					p.Advance(10)
+					p.Sync()
+				}
+				return
+			}
+			for i := 0; i < 105; i++ {
+				p.Advance(1)
+				p.SyncLocal()
+			}
+		})
+		return e.FastPathHits(), e.Switches(), e.Windows()
+	}
+	baseFast, baseSw, baseWin := run(0)
+	extFast, extSw, extWin := run(50)
+	if extFast <= baseFast {
+		t.Errorf("lookahead did not extend the fast path: %d hits (L=0) vs %d (L=50)", baseFast, extFast)
+	}
+	if extSw >= baseSw {
+		t.Errorf("lookahead did not reduce context switches: %d (L=0) vs %d (L=50)", baseSw, extSw)
+	}
+	if extWin >= baseWin {
+		t.Errorf("lookahead did not reduce windows: %d (L=0) vs %d (L=50)", baseWin, extWin)
+	}
+}
+
+// TestShardedZeroHopLookahead pins the degenerate lookahead: processors on
+// the same home node (same shard) have zero-hop interactions, so the
+// lookahead contributes nothing within a shard — same-shard operations are
+// ordered purely by the per-shard (clock, id) queue. Two same-shard
+// processors running mixed workloads must produce the serial schedule.
+func TestShardedZeroHopLookahead(t *testing.T) {
+	exec := func(e *Engine) []int {
+		var order []int
+		e.Run(func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Advance(Time(2 + p.ID()))
+				p.Sync()
+				order = append(order, p.ID())
+			}
+		})
+		return order
+	}
+	want := exec(NewEngine(2))
+	// Both processors in shard 0 of a 2-shard engine; shard 1 is empty.
+	got := exec(NewEngineSharded(2, 2, func(int) int { return 0 }))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("same-shard schedule %v, want serial %v", got, want)
+	}
+}
+
+// TestShardedDeadlockDumpAndReuse mirrors the serial engine's recovered-
+// deadlock guarantee (satellite: shard-aware stateDump + reusable engine):
+// a sharded deadlock panics with shard identity and per-shard run-queue
+// contents in the dump, drains every goroutine, and leaves the engine
+// reusable for a subsequent good run.
+func TestShardedDeadlockDumpAndReuse(t *testing.T) {
+	e := NewEngineSharded(4, 2, evenOdd)
+	var dump string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no deadlock panic")
+			}
+			dump = fmt.Sprint(r)
+		}()
+		e.Run(func(p *Proc) {
+			if p.ID() < 2 {
+				p.Block("never woken")
+				return
+			}
+			p.Advance(Time(p.ID()))
+			p.Sync()
+		})
+	}()
+	for _, want := range []string{"shards=2", "shard 0", "shard 1", "shard=0", "shard=1", `reason="never woken"`} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("deadlock dump missing %q:\n%s", want, dump)
+		}
+	}
+	// The engine must be fully reusable after the recovered deadlock.
+	finish := e.Run(func(p *Proc) {
+		p.Advance(Time(1 + p.ID()))
+		p.Sync()
+	})
+	if finish != 4 {
+		t.Errorf("post-deadlock run finish = %d, want 4", finish)
+	}
+}
+
+// TestShardedDeadlockDrainRunsDefers mirrors the serial drain test: the
+// teardown must unwind parked goroutines through their defers.
+func TestShardedDeadlockDrainRunsDefers(t *testing.T) {
+	e := NewEngineSharded(4, 2, evenOdd)
+	var deferred atomic.Int32
+	func() {
+		defer func() { _ = recover() }()
+		e.Run(func(p *Proc) {
+			defer deferred.Add(1)
+			if p.ID() != 0 {
+				p.Block("wedged")
+			}
+		})
+	}()
+	if got := deferred.Load(); got != 4 {
+		t.Errorf("defers run during drain = %d, want 4", got)
+	}
+}
+
+// TestShardedOneShardIsSerialSchedule runs the degenerate single-shard
+// configuration through the full window protocol and requires counters and
+// schedule identical to the serial engine on a workload with blocking.
+func TestShardedOneShardIsSerialSchedule(t *testing.T) {
+	type outcome struct {
+		finish Time
+		sw     uint64
+		fp     uint64
+		bl     uint64
+	}
+	exec := func(e *Engine) outcome {
+		finish := e.Run(func(p *Proc) {
+			if p.ID() == 3 {
+				p.Block("flag")
+				return
+			}
+			p.Advance(Time(10 * (p.ID() + 1)))
+			p.Sync()
+			if p.ID() == 0 {
+				e.Proc(3).Unblock(p.Clock() + 1)
+			}
+		})
+		return outcome{finish, e.Switches(), e.FastPathHits(), e.Blocks()}
+	}
+	want := exec(NewEngine(4))
+	got := exec(NewEngineSharded(4, 1, func(int) int { return 0 }))
+	if got != want {
+		t.Errorf("1-shard outcome %+v, want serial %+v", got, want)
+	}
+}
+
+// TestShardedAssignmentValidation pins constructor contract violations.
+func TestShardedAssignmentValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+		assign func(int) int
+	}{
+		{"zero shards", 0, func(int) int { return 0 }},
+		{"negative assignment", 2, func(int) int { return -1 }},
+		{"out of range", 2, func(int) int { return 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			NewEngineSharded(2, tc.shards, tc.assign)
+		})
+	}
+}
+
+// BenchmarkEngineHotLoopSharded is the sharded variant of
+// BenchmarkEngineHotLoop: every processor spins on local-scope operations
+// in its own shard, so on a multicore host the shards advance concurrently
+// with per-shard fast-path dispatch. Compare against
+// BenchmarkEngineHotLoopLockstep (the same workload on the serial engine,
+// where the four processors ping-pong through the scheduler).
+func BenchmarkEngineHotLoopSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const procs = 4
+			e := NewEngineSharded(procs, shards, blockShards(procs, shards))
+			iters := b.N/procs + 1
+			b.ReportAllocs()
+			e.Run(func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Advance(1)
+					p.SyncLocal()
+				}
+			})
+			b.ReportMetric(float64(e.FastPathHits())/float64(b.N), "fastpath_hits/op")
+		})
+	}
+}
+
+// BenchmarkEngineHotLoopLockstep is the serial baseline for the sharded
+// hot loop: the same all-local workload on the serial engine, where
+// SyncLocal degenerates to Sync and the processors advance in lockstep
+// through the run queue.
+func BenchmarkEngineHotLoopLockstep(b *testing.B) {
+	const procs = 4
+	e := NewEngine(procs)
+	iters := b.N/procs + 1
+	b.ReportAllocs()
+	e.Run(func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.Advance(1)
+			p.SyncLocal()
+		}
+	})
+	b.ReportMetric(float64(e.FastPathHits())/float64(b.N), "fastpath_hits/op")
+}

@@ -35,6 +35,12 @@ type Proc struct {
 	done    bool
 	// blockReason is a human-readable label for deadlock reports.
 	blockReason string
+
+	// Sharded mode (see shard.go). shd is the owning shard (nil on a serial
+	// engine); pscope classifies the pending operation the processor will
+	// perform when next dispatched.
+	shd    *shard
+	pscope scope
 }
 
 // ID returns the processor number in [0, NumProcs).
@@ -82,6 +88,10 @@ type yieldMsg struct {
 // either case, by the same (clock, id) order.
 func (p *Proc) Sync() {
 	e := p.eng
+	if e.shards != nil {
+		p.syncSharded(scopeGlobal)
+		return
+	}
 	if e.aborting {
 		panic(abortRun{})
 	}
@@ -101,7 +111,11 @@ func (p *Proc) Block(reason string) {
 	}
 	p.blocked = true
 	p.blockReason = reason
-	p.eng.yield <- yieldMsg{p, yieldBlocked}
+	if p.shd != nil {
+		p.shd.yield <- yieldMsg{p, yieldBlocked}
+	} else {
+		p.eng.yield <- yieldMsg{p, yieldBlocked}
+	}
 	<-p.resume
 	if p.eng.aborting {
 		panic(abortRun{})
@@ -113,8 +127,9 @@ func (p *Proc) Block(reason string) {
 // currently running processor's body (or from engine hooks); the engine is
 // single-threaded so no locking is required.
 func (p *Proc) Unblock(t Time) {
+	e := p.eng
 	if !p.blocked {
-		if p.eng.aborting {
+		if e.aborting {
 			// A deferred release during the deadlock drain may target a
 			// processor the engine has already forced out; let the unwind
 			// proceed.
@@ -122,10 +137,32 @@ func (p *Proc) Unblock(t Time) {
 		}
 		panic(fmt.Sprintf("sim: Unblock of runnable processor %d", p.id))
 	}
+	if e.shards != nil {
+		// Wake-ups mutate another shard's run queue, so they are only legal
+		// from a serialized global-scope operation (the window boundary),
+		// where exactly one goroutine runs. A local-scope operation waking
+		// anyone would race and could reorder against already-executed
+		// global operations.
+		if e.phase == phaseLocal {
+			panic(fmt.Sprintf("sim: Unblock of processor %d from inside a local shard window; wake-ups are only legal from global-scope operations", p.id))
+		}
+		// curShard is the shard of the processor running the current window
+		// boundary (fast-pathed continuations included: only the serially
+		// dispatched processor can be executing here).
+		if e.curShard != nil && e.curShard != p.shd {
+			e.xUnblocks++
+		}
+		p.pscope = scopeGlobal // the woken processor's next operation has unknown scope
+		p.blocked = false
+		p.blockReason = ""
+		p.AdvanceTo(t)
+		p.shd.runq.push(p)
+		return
+	}
 	p.blocked = false
 	p.blockReason = ""
 	p.AdvanceTo(t)
-	p.eng.push(p)
+	e.push(p)
 }
 
 // Blocked reports whether the processor is currently parked.
@@ -145,6 +182,19 @@ type Engine struct {
 	// of yielding, so unwinding bodies can never wedge on engine channels.
 	drained  chan struct{}
 	aborting bool
+
+	// Sharded mode (see shard.go); shards is nil on a serial engine.
+	// phase, horizon, and serialProc are written by the coordinator only
+	// while no processor goroutine runs (the hand-offs are channel
+	// operations, so every read is ordered after the write).
+	shards    []*shard
+	lookahead Time
+	phase     phaseKind
+	horizon   horizon
+	curShard  *shard      // shard of the last serially dispatched processor
+	phaseDone chan *shard // window-barrier rendezvous
+	windows   uint64      // local windows advanced
+	xUnblocks uint64      // wake-ups delivered across shards
 
 	// Instrumentation. The hot-path counts are plain fields (the engine is
 	// single-threaded) harvested into a metrics registry by PublishMetrics;
@@ -173,11 +223,19 @@ func (e *Engine) InstrumentMetrics(r *metrics.Registry) {
 // PublishMetrics harvests the engine's plain instrumentation counts into r
 // (implements metrics.Publisher). sim.yields is the total number of
 // globally visible scheduling points: fast-path hits plus full handoffs.
+// On a sharded engine the per-shard window counts are folded in (for
+// all-global-scope workloads — every machine run — they are zero, so the
+// published sim.* totals are bit-identical to the serial engine's) and the
+// sharded-mode counters (sim.shard.*) are published alongside.
 func (e *Engine) PublishMetrics(r *metrics.Registry) {
-	r.Counter("sim.switches").Add(e.switches)
-	r.Counter("sim.blocks").Add(e.blocks)
-	r.Counter("sim.fastpath_hits").Add(e.fastPathHits)
-	r.Counter("sim.yields").Add(e.fastPathHits + e.switches)
+	sw, fp := e.Switches(), e.FastPathHits()
+	r.Counter("sim.switches").Add(sw)
+	r.Counter("sim.blocks").Add(e.Blocks())
+	r.Counter("sim.fastpath_hits").Add(fp)
+	r.Counter("sim.yields").Add(fp + sw)
+	if e.shards != nil {
+		e.shardMetrics(r)
+	}
 }
 
 // NewEngine creates an engine with n processors, all with clock zero.
@@ -210,6 +268,9 @@ func (e *Engine) push(p *Proc) { e.runq.push(p) }
 // clock, i.e. the parallel execution time. Run panics with a state dump if
 // the simulation deadlocks (all unfinished processors blocked).
 func (e *Engine) Run(body func(p *Proc)) Time {
+	if e.shards != nil {
+		return e.runSharded(body)
+	}
 	e.aborting = false
 	for _, p := range e.procs {
 		p.clock = 0
@@ -286,7 +347,7 @@ func (e *Engine) drainDeadlocked() {
 		}
 	}
 	for {
-		p, ok := e.runq.pop()
+		p, ok := e.popAnyRunq()
 		if !ok {
 			break
 		}
@@ -300,32 +361,73 @@ func (e *Engine) drainDeadlocked() {
 	e.aborting = false
 }
 
+// popAnyRunq pops from the engine's run queue, or from any shard's in
+// sharded mode (drain path only; order is irrelevant while aborting).
+func (e *Engine) popAnyRunq() (*Proc, bool) {
+	if e.shards != nil {
+		return e.drainShardedRunq()
+	}
+	return e.runq.pop()
+}
+
 // Switches returns the number of scheduling events (processor
 // resumptions) so far — a measure of how fine-grained the simulation's
-// global operations are.
-func (e *Engine) Switches() uint64 { return e.switches }
+// global operations are. On a sharded engine it includes window dispatches.
+func (e *Engine) Switches() uint64 {
+	n := e.switches
+	for _, s := range e.shards {
+		n += s.switches
+	}
+	return n
+}
 
 // Blocks returns the number of Block (park) events so far.
-func (e *Engine) Blocks() uint64 { return e.blocks }
+func (e *Engine) Blocks() uint64 {
+	n := e.blocks
+	for _, s := range e.shards {
+		n += s.blocks
+	}
+	return n
+}
 
 // FastPathHits returns the number of Sync calls that returned without a
 // scheduler round-trip because the caller was still the minimum-clock
 // runnable processor. Switches + FastPathHits is the total number of
 // globally visible scheduling points.
-func (e *Engine) FastPathHits() uint64 { return e.fastPathHits }
+func (e *Engine) FastPathHits() uint64 {
+	n := e.fastPathHits
+	for _, s := range e.shards {
+		n += s.fastPathHits
+	}
+	return n
+}
+
+// Windows returns the number of local windows advanced (sharded mode).
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// CrossShardUnblocks returns the number of wake-ups delivered across
+// shards (sharded mode).
+func (e *Engine) CrossShardUnblocks() uint64 { return e.xUnblocks }
 
 func (e *Engine) stateDump() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  switches=%d fastpath=%d blocks=%d\n", e.switches, e.fastPathHits, e.blocks)
+	fmt.Fprintf(&b, "  switches=%d fastpath=%d blocks=%d\n", e.Switches(), e.FastPathHits(), e.Blocks())
+	if e.shards != nil {
+		e.shardStateDump(&b)
+	}
 	// procs[i].id == i by construction, so the dump is already in id order.
 	for _, p := range e.procs {
+		shard := ""
+		if p.shd != nil {
+			shard = fmt.Sprintf(" shard=%d", p.shd.id)
+		}
 		switch {
 		case p.done:
-			fmt.Fprintf(&b, "  P%-2d done     clock=%d\n", p.id, p.clock)
+			fmt.Fprintf(&b, "  P%-2d done     clock=%d%s\n", p.id, p.clock, shard)
 		case p.blocked:
-			fmt.Fprintf(&b, "  P%-2d blocked  clock=%d reason=%q\n", p.id, p.clock, p.blockReason)
+			fmt.Fprintf(&b, "  P%-2d blocked  clock=%d%s reason=%q\n", p.id, p.clock, shard, p.blockReason)
 		default:
-			fmt.Fprintf(&b, "  P%-2d runnable clock=%d\n", p.id, p.clock)
+			fmt.Fprintf(&b, "  P%-2d runnable clock=%d%s\n", p.id, p.clock, shard)
 		}
 	}
 	return b.String()

@@ -1,0 +1,123 @@
+package zsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardCounts are the kernel shard settings the identity fence exercises:
+// 1 runs the full window protocol with every processor in one shard, 2 and
+// 4 split the mesh into row bands.
+var shardCounts = []int{1, 2, 4}
+
+// TestShardedMatchesSerialApps is the bit-identity fence for the sharded
+// kernel (ISSUE 7's hard constraint): every figure application on every
+// memory system must produce the same Result and the same trace stream —
+// event totals and the full event window — under -kernel-shards 1, 2, and 4
+// as under the serial engine. Machine-layer operations are all global-scope,
+// so the sharded schedule must collapse to exactly the serial one.
+func TestShardedMatchesSerialApps(t *testing.T) {
+	for _, name := range Benchmarks() {
+		for _, kind := range Kinds() {
+			name, kind := name, kind
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				t.Parallel()
+				serial := DefaultParams(8)
+				r0, total0, ev0, err := runTraced(name, kind, serial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range shardCounts {
+					sharded := serial
+					sharded.KernelShards = shards
+					r1, total1, ev1, err := runTraced(name, kind, sharded)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if !reflect.DeepEqual(r0, r1) {
+						t.Errorf("shards=%d: Result diverged from serial:\n%s\nvs\n%s", shards, r0, r1)
+					}
+					if total0 != total1 {
+						t.Errorf("shards=%d: event totals diverged: serial %d vs sharded %d", shards, total0, total1)
+					}
+					if !reflect.DeepEqual(ev0, ev1) {
+						t.Errorf("shards=%d: trace streams diverged (window of last %d events)", shards, traceCap)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedLitmusMatchesSerial runs the full hand-written litmus suite on
+// every memory system with the kernel sharded four ways and demands the
+// exact serial outcomes: same final-state strings, same allowed verdicts,
+// same checker event counts, no violations introduced or masked.
+func TestShardedLitmusMatchesSerial(t *testing.T) {
+	serial := DefaultParams(8)
+	sharded := serial
+	sharded.KernelShards = 4
+
+	rs0, err := RunLitmusSuite(Kinds(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs1, err := RunLitmusSuite(Kinds(), sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs0, rs1) {
+		t.Errorf("litmus suite diverged under -kernel-shards 4:\nserial:\n%s\nsharded:\n%s",
+			LitmusReport(rs0), LitmusReport(rs1))
+	}
+	if !LitmusOk(rs1) {
+		t.Errorf("sharded litmus suite not conformant:\n%s", LitmusReport(rs1))
+	}
+}
+
+// TestShardedGridComposition pins the composition of the two concurrency
+// layers (ISSUE 7 satellite): the runner's inter-run worker pool
+// (SetParallelism) and the kernel's intra-run shards are independent knobs,
+// and results stay byte-identical when both are on. Each grid cell runs one
+// app × system pair; the cell Results with parallelism 2 × shards 2 must
+// equal the fully serial (parallelism 1, shards 0) baseline.
+func TestShardedGridComposition(t *testing.T) {
+	type cellSpec struct {
+		name string
+		kind Kind
+	}
+	var cells []cellSpec
+	for _, name := range Benchmarks() {
+		for _, kind := range []Kind{ZMachine, RCInv} {
+			cells = append(cells, cellSpec{name, kind})
+		}
+	}
+	run := func(parallel int, params Params) []*Result {
+		defer SetParallelism(SetParallelism(parallel))
+		rs, err := RunGrid(len(cells), func(i int) (*Result, error) {
+			app, err := NewBenchmark(cells[i].name, ScaleSmall)
+			if err != nil {
+				return nil, err
+			}
+			return RunApp(app, cells[i].kind, params)
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d shards=%d: %v", parallel, params.KernelShards, err)
+		}
+		return rs
+	}
+
+	serial := DefaultParams(8)
+	sharded := serial
+	sharded.KernelShards = 2
+
+	base := run(1, serial)
+	both := run(2, sharded)
+	for i := range cells {
+		if !reflect.DeepEqual(base[i], both[i]) {
+			t.Errorf("cell %s/%s diverged with parallelism 2 x shards 2:\n%s\nvs\n%s",
+				cells[i].name, cells[i].kind, base[i], both[i])
+		}
+	}
+}
