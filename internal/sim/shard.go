@@ -8,23 +8,30 @@
 // two phases:
 //
 //   - Serial phase (the window boundary): the coordinator pops the single
-//     globally minimal (clock, id) processor whose pending operation is
-//     global-scope and runs it alone, exactly like the serial engine. Every
-//     operation that can touch shared simulation state — all machine/Env
-//     traps, and every Unblock — happens here, so the sequence of global
-//     operations is bit-identical to the serial engine's dispatch order.
+//     globally minimal (clock, id) processor — regardless of its pending
+//     operation's scope — and runs it alone, exactly like the serial
+//     engine. Every operation that can touch shared simulation state — all
+//     machine/Env traps, and every Unblock — happens here, so the sequence
+//     of global operations is bit-identical to the serial engine's
+//     dispatch order. With zero lookahead no window ever opens and the
+//     sharded engine executes exactly the serial schedule.
 //
-//   - Local window: let B be the minimal global-scope head across all
-//     shards. Every shard whose head is a local-scope operation strictly
-//     below the window horizon runs concurrently on its own goroutine,
-//     dispatching its processors in per-shard (clock, id) order until its
-//     head reaches the horizon, turns global, or the shard runs dry. The
-//     horizon is B extended by the conservative lookahead (the minimum
-//     cross-shard mesh latency, see Engine.SetLookahead and
-//     mesh.MinCrossShardLatency): no effect of the pending global operation
-//     at B can reach another shard's private state earlier than B +
-//     lookahead, because cross-shard interactions travel the mesh and
-//     Unblock is only legal from global scope.
+//   - Local window: let B be the minimal (clock, id) head across ALL
+//     shards, local- or global-scope. Every shard whose head is a
+//     local-scope operation strictly below the window horizon runs
+//     concurrently on its own goroutine, dispatching its processors in
+//     per-shard (clock, id) order until its head reaches the horizon,
+//     turns global, or the shard runs dry. The horizon is B + lookahead
+//     (the minimum cross-shard mesh latency, see Engine.SetLookahead and
+//     mesh.MinCrossShardLatency), exclusive: B lower-bounds the clock of
+//     the next global operation ANY shard can issue — a local head bounds
+//     where its shard can next go global just as a global head does, since
+//     per-shard dispatch clocks are nondecreasing — and no cross-shard
+//     effect of a global operation at clock >= B can land before
+//     B + lookahead, because cross-shard interactions travel the mesh and
+//     Unblock is only legal from global scope. The bound must be exclusive
+//     even at a clock tie: a cross-shard wake-up can arrive at exactly
+//     B + lookahead with an arbitrary processor id.
 //
 // Local-scope operations (SyncLocal) promise to touch only state private to
 // the calling processor or its shard, so their host-time interleaving
@@ -33,10 +40,14 @@
 // use. The merged schedule is therefore equivalent to the serial one: the
 // global subsequence is identical, and the local operations commute with
 // everything that separates their dispatch from its serial position. The
-// machine layer marks every protocol operation global-scope, which is why
-// sharded machine runs are byte-identical to serial runs — including the
-// sim.switches / sim.fastpath_hits / sim.blocks counters and the run-queue
-// depth histogram, which benchdiff gates at 0.0% drift.
+// lookahead contract — no cross-shard effect lands less than lookahead
+// after the clock of the operation issuing it — is enforced at Unblock
+// time against a per-shard watermark of window-dispatched operations, so a
+// violation is a deterministic panic, never a silent schedule divergence.
+// The machine layer marks every protocol operation global-scope, which is
+// why sharded machine runs are byte-identical to serial runs — including
+// the sim.switches / sim.fastpath_hits / sim.blocks counters and the
+// run-queue depth histogram, which benchdiff gates at 0.0% drift.
 package sim
 
 import (
@@ -92,30 +103,28 @@ type shard struct {
 	// window barrier.
 	windowDone   int
 	windowFinish Time
+
+	// Watermark of the last operation this shard dispatched inside a local
+	// window, as its (clock, id) at dispatch. A wake-up ordering below it
+	// would have to rewrite history the window already executed, so Unblock
+	// treats that as a lookahead-contract violation and panics. wmID == -1
+	// means no window dispatch yet (nothing can order below (0, -1)).
+	wmClock Time
+	wmID    int
 }
 
-// horizon is the exclusive upper bound of a local window in (clock, id)
-// order; inf means no global-scope operation is pending anywhere, so local
-// work may run to completion.
+// horizon is the exclusive virtual-time upper bound of a local window:
+// B + lookahead, where B is the minimal (clock, id) head across all shards.
+// The bound is exclusive regardless of processor id — a cross-shard effect
+// can land at exactly B + lookahead with an arbitrary id, so a clock tie
+// must wait for the next window.
 type horizon struct {
 	clock Time
-	id    int
-	inf   bool
 }
 
 // admits reports whether p's pending operation falls strictly inside the
-// window. Processors tied with the bounding global operation at the same
-// (clock, id)… cannot exist (ids are unique), but a clock tie with a larger
-// id is excluded exactly as the serial heap would order it.
-func (h horizon) admits(p *Proc) bool {
-	if h.inf {
-		return true
-	}
-	if p.clock != h.clock {
-		return p.clock < h.clock
-	}
-	return p.id < h.id
-}
+// window.
+func (h horizon) admits(p *Proc) bool { return p.clock < h.clock }
 
 // NewEngineSharded creates an engine with n processors partitioned across
 // shards run queues; shardOf maps a processor id to its shard in
@@ -151,8 +160,12 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // virtual time any effect of a global-scope operation needs to reach
 // another shard's private state. The machine layer derives it from the
 // minimum cross-shard mesh hop latency (mesh.MinCrossShardLatency). Local
-// windows extend to the minimal pending global operation plus this bound.
-// Zero (the default) is always safe.
+// windows extend to the minimal pending operation across all shards plus
+// this bound. Zero (the default) is always safe: no window ever opens and
+// the engine executes exactly the serial schedule. A caller setting d > 0
+// promises that every cross-shard wake-up lands at least d after the clock
+// of the operation issuing it; Unblock enforces the promise against each
+// shard's window watermark.
 func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
 
 // Lookahead returns the configured cross-shard lookahead.
@@ -199,13 +212,17 @@ func (p *Proc) syncSharded(sc scope) {
 		// the window boundary.
 		if sc == scopeLocal && (len(s.runq) == 0 || procLess(p, s.runq[0])) && e.horizon.admits(p) {
 			s.fastPathHits++
+			s.wmClock, s.wmID = p.clock, p.id
 			return
 		}
 	} else if e.precedesAllHeads(p) {
 		// Serial phase: p runs alone; if it still precedes every shard's
 		// head it is exactly the processor the coordinator would dispatch
-		// next — the same condition as the serial engine's fast path.
+		// next — the same condition as the serial engine's fast path. The
+		// inline continuation is still the serially running operation, so
+		// its scope keeps governing Unblock legality.
 		e.fastPathHits++
+		e.curScope = sc
 		return
 	}
 	s.yield <- yieldMsg{p, yieldRunnable}
@@ -240,10 +257,12 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 	e.aborting = false
 	e.phase = phaseSerial
 	e.curShard = nil
+	e.curScope = scopeGlobal
 	for _, s := range e.shards {
 		s.runq = s.runq[:0]
 		s.switches, s.blocks, s.fastPathHits, s.dispatches = 0, 0, 0, 0
 		s.windowDone, s.windowFinish = 0, 0
+		s.wmClock, s.wmID = 0, -1
 	}
 	for _, p := range e.procs {
 		p.clock = 0
@@ -280,59 +299,17 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 	remaining := len(e.procs)
 	var finish Time
 	for remaining > 0 {
-		// Survey the shard heads: the minimal global-scope head bounds the
-		// next window; local-scope heads inside the horizon may run
-		// concurrently.
+		// Survey the shard heads: the minimal (clock, id) head across ALL
+		// shards bounds the next window. A local-scope head bounds it just
+		// as a global one does — its shard's clocks are nondecreasing, so
+		// the head's clock lower-bounds where that shard can next issue a
+		// global operation (the only way to affect another shard).
 		var bound *Proc
 		for _, s := range e.shards {
-			if len(s.runq) == 0 || s.runq[0].pscope != scopeGlobal {
-				continue
-			}
-			if bound == nil || procLess(s.runq[0], bound) {
+			if len(s.runq) > 0 && (bound == nil || procLess(s.runq[0], bound)) {
 				bound = s.runq[0]
 			}
 		}
-		hz := horizon{inf: true}
-		if bound != nil {
-			hc := bound.clock + e.lookahead
-			if hc < bound.clock { // saturate on overflow
-				hc = ^Time(0)
-			}
-			hz = horizon{clock: hc, id: bound.id}
-		}
-		active := 0
-		for _, s := range e.shards {
-			if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
-				active++
-			}
-		}
-
-		if active > 0 {
-			// Local window: every shard with admitted local work advances
-			// concurrently up to the horizon.
-			e.phase = phaseLocal
-			e.horizon = hz
-			e.windows++
-			for _, s := range e.shards {
-				if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
-					go s.runWindow()
-				}
-			}
-			for i := 0; i < active; i++ {
-				<-e.phaseDone
-			}
-			e.phase = phaseSerial
-			// Harvest in shard order so the aggregation is deterministic.
-			for _, s := range e.shards {
-				remaining -= s.windowDone
-				s.windowDone = 0
-				if s.windowFinish > finish {
-					finish = s.windowFinish
-				}
-			}
-			continue
-		}
-
 		if bound == nil {
 			// No runnable processor anywhere: deadlock.
 			dump := e.stateDump()
@@ -340,14 +317,59 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 			panic("sim: deadlock\n" + dump)
 		}
 
-		// Window boundary: run the single minimal global-scope operation,
-		// exactly as the serial engine would.
+		// Local-scope heads strictly below bound + lookahead may run
+		// concurrently. With zero lookahead nothing lies strictly below the
+		// minimal head, so no window ever opens and execution is exactly
+		// serial.
+		if e.lookahead > 0 {
+			hc := bound.clock + e.lookahead
+			if hc < bound.clock { // saturate on overflow
+				hc = ^Time(0)
+			}
+			hz := horizon{clock: hc}
+			active := 0
+			for _, s := range e.shards {
+				if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
+					active++
+				}
+			}
+			if active > 0 {
+				// Local window: every shard with admitted local work
+				// advances concurrently up to the horizon.
+				e.phase = phaseLocal
+				e.horizon = hz
+				e.windows++
+				for _, s := range e.shards {
+					if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
+						go s.runWindow()
+					}
+				}
+				for i := 0; i < active; i++ {
+					<-e.phaseDone
+				}
+				e.phase = phaseSerial
+				// Harvest in shard order so the aggregation is deterministic.
+				for _, s := range e.shards {
+					remaining -= s.windowDone
+					s.windowDone = 0
+					if s.windowFinish > finish {
+						finish = s.windowFinish
+					}
+				}
+				continue
+			}
+		}
+
+		// Window boundary: run the single minimal operation alone, exactly
+		// as the serial engine would. Its scope governs whether Unblock is
+		// legal while it runs.
 		s := bound.shd
 		p, _ := s.runq.pop()
 		e.switches++
 		s.dispatches++
 		e.mRunqDepth.Observe(uint64(e.runnable()))
 		e.curShard = s
+		e.curScope = p.pscope
 		p.resume <- struct{}{}
 		m := <-s.yield
 		switch m.kind {
@@ -378,6 +400,7 @@ func (s *shard) runWindow() {
 		p, _ := s.runq.pop()
 		s.switches++
 		s.dispatches++
+		s.wmClock, s.wmID = p.clock, p.id
 		e.mRunqDepth.Observe(uint64(len(s.runq)))
 		p.resume <- struct{}{}
 		m := <-s.yield

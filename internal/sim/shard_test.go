@@ -58,13 +58,16 @@ func TestShardedGlobalOrderMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestShardedLocalWindowsRunConcurrently pins the point of sharding: an
-// all-local workload finishes with (nearly) every trap on the per-shard
-// fast path and advances at most a handful of windows, i.e. shards run
-// their processors without any per-operation coordination.
+// TestShardedLocalWindowsRunConcurrently pins the point of sharding: with a
+// lookahead covering the whole run, an all-local workload finishes with
+// (nearly) every trap on the per-shard fast path and advances at most a
+// handful of windows, i.e. shards run their processors without any
+// per-operation coordination. (Lookahead is what licenses the concurrency:
+// with zero lookahead the conservative protocol opens no windows at all.)
 func TestShardedLocalWindowsRunConcurrently(t *testing.T) {
 	const n, iters = 4, 1000
 	e := NewEngineSharded(n, n, blockShards(n, n))
+	e.SetLookahead(iters + 1)
 	finish := e.Run(func(p *Proc) {
 		for i := 0; i < iters; i++ {
 			p.Advance(1)
@@ -84,10 +87,11 @@ func TestShardedLocalWindowsRunConcurrently(t *testing.T) {
 	}
 }
 
-// TestShardedLocalDeterministic runs a mixed local/global workload twice
-// and at several shard counts: per-processor results must be identical
-// everywhere (local operations only touch processor-private state, so the
-// window protocol cannot change them).
+// TestShardedLocalDeterministic runs a mixed local/global workload twice,
+// at several shard counts and several lookaheads: per-processor results
+// must be identical everywhere (local operations only touch
+// processor-private state, so the window protocol cannot change them). The
+// workload has no wake-ups, so every lookahead is contract-valid.
 func TestShardedLocalDeterministic(t *testing.T) {
 	const n = 8
 	exec := func(e *Engine) ([n]Time, Time) {
@@ -107,11 +111,15 @@ func TestShardedLocalDeterministic(t *testing.T) {
 	}
 	wantClocks, wantFinish := exec(NewEngine(n))
 	for _, shards := range []int{1, 2, 4} {
-		for rep := 0; rep < 3; rep++ {
-			clocks, finish := exec(NewEngineSharded(n, shards, blockShards(n, shards)))
-			if clocks != wantClocks || finish != wantFinish {
-				t.Fatalf("shards=%d rep=%d: clocks=%v finish=%d, want %v / %d",
-					shards, rep, clocks, finish, wantClocks, wantFinish)
+		for _, lookahead := range []Time{0, 1, 5, 1000} {
+			for rep := 0; rep < 3; rep++ {
+				e := NewEngineSharded(n, shards, blockShards(n, shards))
+				e.SetLookahead(lookahead)
+				clocks, finish := exec(e)
+				if clocks != wantClocks || finish != wantFinish {
+					t.Fatalf("shards=%d lookahead=%d rep=%d: clocks=%v finish=%d, want %v / %d",
+						shards, lookahead, rep, clocks, finish, wantClocks, wantFinish)
+				}
 			}
 		}
 	}
@@ -153,6 +161,7 @@ func TestShardedBlockUnblock(t *testing.T) {
 // recovers (exercising the sharded drain on the way out).
 func TestShardedUnblockFromWindowPanics(t *testing.T) {
 	e := NewEngineSharded(2, 2, evenOdd)
+	e.SetLookahead(2) // a positive lookahead is what opens local windows
 	var msg string
 	func() {
 		defer func() {
@@ -165,10 +174,11 @@ func TestShardedUnblockFromWindowPanics(t *testing.T) {
 				p.Block("waiting forever")
 				return
 			}
-			// Two local steps: the first is trapped in the serial phase, the
-			// second is dispatched inside a local window (P1 is parked, so
-			// the window's horizon is infinite).
-			p.Advance(1)
+			// Two local steps: the first traps at clock 5, beyond the
+			// horizon of P1's initial dispatch at clock 0, so P1 parks
+			// first; once parked, P0's head is the minimal head, a window
+			// opens around it, and the second step runs inside it.
+			p.Advance(5)
 			p.SyncLocal()
 			p.Advance(1)
 			p.SyncLocal()
@@ -187,36 +197,173 @@ func TestShardedUnblockFromWindowPanics(t *testing.T) {
 	}
 }
 
-// TestShardedHorizonBoundaryTie pins the window-boundary tie rule: a
-// local-scope operation tied with the bounding global operation at the same
-// clock runs strictly after it when its id is larger, and strictly before
-// when its id is smaller — the serial (clock, id) order.
-func TestShardedHorizonBoundaryTie(t *testing.T) {
-	g := &Proc{id: 1, clock: 10}
-	hz := horizon{clock: 10, id: 1}
-	if hz.admits(&Proc{id: 2, clock: 10}) {
-		t.Error("(10, 2) admitted at horizon (10, 1); ties at the boundary must wait")
+// TestShardedUnblockFromLocalScopeSerialPanics pins the other half of the
+// wake-up contract: even when a local-scope operation is dispatched in the
+// serial phase (zero lookahead opens no windows, so SyncLocal traps
+// serialize through the coordinator), an Unblock from it is a contract
+// violation — the same program under a positive lookahead would run the
+// operation inside a window and diverge. The engine panics either way.
+func TestShardedUnblockFromLocalScopeSerialPanics(t *testing.T) {
+	e := NewEngineSharded(2, 2, evenOdd)
+	var msg string
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no deadlock panic after the aborted wake-up")
+			}
+		}()
+		e.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				p.Block("waiting forever")
+				return
+			}
+			p.Advance(1)
+			p.SyncLocal()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						msg = fmt.Sprint(r)
+					}
+				}()
+				e.Proc(1).Unblock(p.Clock())
+			}()
+		})
+	}()
+	if !strings.Contains(msg, "local-scope") {
+		t.Errorf("Unblock panic = %q, want the local-scope message", msg)
 	}
-	if !hz.admits(&Proc{id: 0, clock: 10}) {
-		t.Error("(10, 0) not admitted at horizon (10, 1)")
+}
+
+// TestShardedLocalHeadBoundsWindow is the regression test for the unsound
+// window bound: shard 0's minimal head is a LOCAL operation at clock 2,
+// behind which P0 turns global at clock 4 and cross-shard-wakes P3 at
+// clock 5 — far below the minimal GLOBAL head (P2's Sync at clock 200). A
+// horizon derived from global heads only would let shard 1 run P1's local
+// operations at clocks 10..100 before the wake-up ever issued, reordering
+// them ahead of P3's woken operations at clocks 6..8. The bound must
+// therefore come from the minimal head across ALL shards: a local head
+// lower-bounds where its shard can next go global. Shard 1's event log
+// must match the serial engine's exactly, at every lookahead valid for the
+// workload's one-cycle wake latency.
+func TestShardedLocalHeadBoundsWindow(t *testing.T) {
+	exec := func(e *Engine) ([]string, Time) {
+		// Only shard-1 processors append to the log, and a shard runs one
+		// processor at a time, so the appends are race-free by construction.
+		var log []string
+		finish := e.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0: // shard 0: local head at 2, then global at 4 waking P3 at 5
+				p.Advance(2)
+				p.SyncLocal()
+				p.Advance(2)
+				p.Sync()
+				e.Proc(3).Unblock(p.Clock() + 1)
+			case 2: // shard 0: the distant global bound
+				p.Advance(200)
+				p.Sync()
+			case 1: // shard 1: local operations at 10, 20, ..., 100
+				for i := 0; i < 10; i++ {
+					p.Advance(10)
+					p.SyncLocal()
+					log = append(log, fmt.Sprintf("P1@%d", p.Clock()))
+				}
+			case 3: // shard 1: woken at 5, local operations at 6, 7, 8
+				p.Block("release")
+				for i := 0; i < 3; i++ {
+					p.Advance(1)
+					p.SyncLocal()
+					log = append(log, fmt.Sprintf("P3@%d", p.Clock()))
+				}
+			}
+		})
+		return log, finish
 	}
-	if !hz.admits(&Proc{id: 5, clock: 9}) {
-		t.Error("(9, 5) not admitted at horizon (10, 1)")
+	wantLog, wantFinish := exec(NewEngine(4))
+	for _, lookahead := range []Time{0, 1} {
+		e := NewEngineSharded(4, 2, evenOdd)
+		e.SetLookahead(lookahead)
+		log, finish := exec(e)
+		if !reflect.DeepEqual(log, wantLog) || finish != wantFinish {
+			t.Errorf("lookahead=%d: shard-1 log diverged from serial:\n got %v finish=%d\nwant %v finish=%d",
+				lookahead, log, finish, wantLog, wantFinish)
+		}
 	}
-	if hz.admits(g) {
-		t.Error("the bounding operation admitted into its own window")
+}
+
+// TestShardedWakeBelowWindowWatermarkPanics pins the lookahead-contract
+// tripwire: with a lookahead far beyond the workload's real wake latency,
+// shard 1 legally runs P1's local operations up to clock 50 inside the
+// first window; P0's global operation at clock 4 then tries to wake P3 at
+// clock 5 — below an operation shard 1 already executed. The engine must
+// panic deterministically rather than let the merged schedule silently
+// diverge from the serial one.
+func TestShardedWakeBelowWindowWatermarkPanics(t *testing.T) {
+	e := NewEngineSharded(4, 2, evenOdd)
+	e.SetLookahead(100) // far wider than the workload's 1-cycle wake latency
+	var msg string
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no deadlock panic after the aborted wake-up")
+			}
+		}()
+		e.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.Advance(2)
+				p.SyncLocal()
+				p.Advance(2)
+				p.Sync()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							msg = fmt.Sprint(r)
+						}
+					}()
+					e.Proc(3).Unblock(p.Clock() + 1)
+				}()
+			case 1: // shard 1: window work at clocks 10..50
+				for i := 0; i < 5; i++ {
+					p.Advance(10)
+					p.SyncLocal()
+				}
+			case 3:
+				p.Block("never released in time")
+			}
+		})
+	}()
+	if !strings.Contains(msg, "window watermark") {
+		t.Errorf("Unblock panic = %q, want the window-watermark message", msg)
 	}
-	if !(horizon{inf: true}).admits(&Proc{id: 0, clock: ^Time(0)}) {
-		t.Error("infinite horizon rejected a processor")
+}
+
+// TestShardedHorizonExclusiveBound pins the horizon rule after the window
+// bound B (the minimal head across all shards) is extended by the
+// lookahead: the bound is strictly exclusive at any processor id, because a
+// cross-shard effect can land at exactly B+L with an arbitrary id. Clock
+// ties at the horizon must wait for the next window regardless of id.
+func TestShardedHorizonExclusiveBound(t *testing.T) {
+	hz := horizon{clock: 10}
+	for _, id := range []int{0, 1, 5} {
+		if hz.admits(&Proc{id: id, clock: 10}) {
+			t.Errorf("(10, %d) admitted at horizon 10; clock ties at the bound must wait", id)
+		}
+		if hz.admits(&Proc{id: id, clock: 11}) {
+			t.Errorf("(11, %d) admitted at horizon 10", id)
+		}
+		if !hz.admits(&Proc{id: id, clock: 9}) {
+			t.Errorf("(9, %d) not admitted at horizon 10", id)
+		}
 	}
 }
 
 // TestShardedLookaheadExtendsWindow pins the mesh-latency lookahead: with
-// SetLookahead(L), local operations strictly below B+L run inside the window
-// bounded by a global operation at B. Processor 1's global bound advances in
-// small steps, so with zero lookahead processor 0 hits the horizon at every
-// step (a slow yield and a fresh window each time), while a lookahead wider
-// than the step glides over most bounds on the fast path.
+// SetLookahead(L), local operations strictly below B+L (B the minimal head
+// across all shards) run inside concurrent windows. With zero lookahead the
+// conservative protocol opens no windows at all — nothing lies strictly
+// below the minimal head — so every operation serializes through the
+// coordinator; a lookahead wider than processor 1's global stride lets
+// processor 0 glide over most bounds on the per-shard fast path.
 func TestShardedLookaheadExtendsWindow(t *testing.T) {
 	run := func(lookahead Time) (fast, switches, windows uint64) {
 		e := NewEngineSharded(2, 2, evenOdd)
@@ -239,14 +386,17 @@ func TestShardedLookaheadExtendsWindow(t *testing.T) {
 	}
 	baseFast, baseSw, baseWin := run(0)
 	extFast, extSw, extWin := run(50)
+	if baseWin != 0 {
+		t.Errorf("zero lookahead opened %d windows, want 0 (conservative protocol has nothing below the minimal head)", baseWin)
+	}
+	if extWin == 0 {
+		t.Error("lookahead 50 opened no windows")
+	}
 	if extFast <= baseFast {
 		t.Errorf("lookahead did not extend the fast path: %d hits (L=0) vs %d (L=50)", baseFast, extFast)
 	}
 	if extSw >= baseSw {
 		t.Errorf("lookahead did not reduce context switches: %d (L=0) vs %d (L=50)", baseSw, extSw)
-	}
-	if extWin >= baseWin {
-		t.Errorf("lookahead did not reduce windows: %d (L=0) vs %d (L=50)", baseWin, extWin)
 	}
 }
 
@@ -399,6 +549,10 @@ func BenchmarkEngineHotLoopSharded(b *testing.B) {
 			const procs = 4
 			e := NewEngineSharded(procs, shards, blockShards(procs, shards))
 			iters := b.N/procs + 1
+			// Independent local phases: a lookahead covering the run models
+			// work with no cross-shard interactions at all, so one window
+			// spans the whole loop.
+			e.SetLookahead(Time(iters) + 2)
 			b.ReportAllocs()
 			e.Run(func(p *Proc) {
 				for i := 0; i < iters; i++ {

@@ -142,9 +142,27 @@ func (p *Proc) Unblock(t Time) {
 		// from a serialized global-scope operation (the window boundary),
 		// where exactly one goroutine runs. A local-scope operation waking
 		// anyone would race and could reorder against already-executed
-		// global operations.
+		// global operations. Both checks are skipped while the deadlock
+		// drain unwinds bodies (deferred releases run with stale state).
 		if e.phase == phaseLocal {
 			panic(fmt.Sprintf("sim: Unblock of processor %d from inside a local shard window; wake-ups are only legal from global-scope operations", p.id))
+		}
+		if e.curScope == scopeLocal && !e.aborting {
+			panic(fmt.Sprintf("sim: Unblock of processor %d from a local-scope (SyncLocal) operation; wake-ups are only legal from global-scope (Sync) operations", p.id))
+		}
+		// Lookahead contract: a wake-up ordering below an operation the
+		// target shard already dispatched inside a local window cannot be
+		// scheduled in serial (clock, id) order anymore — the caller's
+		// lookahead promise (SetLookahead) was too large. Fail loudly,
+		// before touching the target's state, instead of diverging
+		// silently.
+		wake := p.clock
+		if t > wake {
+			wake = t
+		}
+		if s := p.shd; !e.aborting && (wake < s.wmClock || (wake == s.wmClock && p.id < s.wmID)) {
+			panic(fmt.Sprintf("sim: Unblock of processor %d at clock %d orders below shard %d's window watermark (clock %d, id %d); lookahead %d violates the cross-shard latency bound",
+				p.id, wake, s.id, s.wmClock, s.wmID, e.lookahead))
 		}
 		// curShard is the shard of the processor running the current window
 		// boundary (fast-pathed continuations included: only the serially
@@ -192,6 +210,7 @@ type Engine struct {
 	phase     phaseKind
 	horizon   horizon
 	curShard  *shard      // shard of the last serially dispatched processor
+	curScope  scope       // declared scope of the serially running operation
 	phaseDone chan *shard // window-barrier rendezvous
 	windows   uint64      // local windows advanced
 	xUnblocks uint64      // wake-ups delivered across shards

@@ -70,6 +70,10 @@ func (s *MemStore) Len() (int, error) {
 type DirStore struct {
 	dir string
 	mu  sync.Mutex
+	// count caches the entry total (counted once at open, maintained by
+	// Put) so Len — polled by every /v1/health request — does not walk the
+	// whole store on a long-lived daemon.
+	count int
 }
 
 // NewDirStore opens (creating if needed) a filesystem store rooted at dir.
@@ -77,7 +81,13 @@ func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("zsimd: store dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	s := &DirStore{dir: dir}
+	n, err := s.walkCount()
+	if err != nil {
+		return nil, fmt.Errorf("zsimd: store dir: %w", err)
+	}
+	s.count = n
+	return s, nil
 }
 
 // path maps a content address to its file. Keys are validated hex, but a
@@ -105,7 +115,10 @@ func (s *DirStore) Get(key string) ([]byte, bool, error) {
 	return body, true, nil
 }
 
-// Put implements Store.
+// Put implements Store. Rewriting an existing key with different bytes is
+// rejected like MemStore does: a persistent store spans restarts and code
+// revisions, which is exactly where a determinism bug would otherwise be
+// papered over silently.
 func (s *DirStore) Put(key string, body []byte) error {
 	p, err := s.path(key)
 	if err != nil {
@@ -113,6 +126,16 @@ func (s *DirStore) Put(key string, body []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	prev, err := os.ReadFile(p)
+	switch {
+	case err == nil:
+		if string(prev) != string(body) {
+			return fmt.Errorf("zsimd: store key %.12s rewritten with different bytes (determinism bug)", key)
+		}
+		return nil // identical entry already present
+	case !os.IsNotExist(err):
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
@@ -120,11 +143,23 @@ func (s *DirStore) Put(key string, body []byte) error {
 	if err := os.WriteFile(tmp, body, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	if err := os.Rename(tmp, p); err != nil {
+		return err
+	}
+	s.count++
+	return nil
 }
 
-// Len implements Store.
+// Len implements Store. The count is maintained incrementally; see the
+// field comment.
 func (s *DirStore) Len() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, nil
+}
+
+// walkCount counts the entries on disk; called once at open.
+func (s *DirStore) walkCount() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {

@@ -103,3 +103,46 @@ func TestDirStoreRoundtripAndKeySafety(t *testing.T) {
 		}
 	}
 }
+
+// TestDirStoreRejectsRewritesAndCachesLen pins the persistent store's
+// determinism tripwire (same contract as MemStore: a key rewritten with
+// different bytes is an upstream bug, not an update) and the incrementally
+// maintained entry count, including its re-count when a store is reopened
+// over existing entries.
+func TestDirStoreRejectsRewritesAndCachesLen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := strings.Repeat("ab", 32), strings.Repeat("cd", 32)
+	if err := s.Put(k1, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k1, []byte("body")); err != nil {
+		t.Fatalf("idempotent re-put rejected: %v", err)
+	}
+	if err := s.Put(k1, []byte("different")); err == nil {
+		t.Fatal("rewrite with different bytes accepted (determinism bug would be silent)")
+	}
+	if body, ok, err := s.Get(k1); err != nil || !ok || string(body) != "body" {
+		t.Fatalf("Get after rejected rewrite = %q, %v, %v", body, ok, err)
+	}
+	if err := s.Put(k2, []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 2 {
+		t.Fatalf("Len = %d, %v, want 2 (re-puts and rejected rewrites must not inflate it)", n, err)
+	}
+	// A reopened store counts the surviving entries once at open.
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s2.Len(); err != nil || n != 2 {
+		t.Fatalf("reopened Len = %d, %v, want 2", n, err)
+	}
+	if err := s2.Put(k1, []byte("different")); err == nil {
+		t.Fatal("reopened store accepted a rewrite with different bytes")
+	}
+}
