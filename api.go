@@ -282,8 +282,35 @@ func EvaluateClaims(scale Scale, p Params) (*Table, bool, error) {
 	return workload.EvaluateClaims(scale, p)
 }
 
-// FindExperiment looks an experiment up by ID ("E1".."E20").
+// FindExperiment looks an experiment up by ID ("E1".."E20", "S1".."S4").
 func FindExperiment(id string) (Experiment, error) { return workload.FindExperiment(id) }
+
+// FindExperimentScaled looks an experiment up by ID across both indexes,
+// building the scalability family over the given machine sizes (nil selects
+// DefaultScalingProcs).
+func FindExperimentScaled(id string, procs []int) (Experiment, error) {
+	return workload.FindExperimentScaled(id, procs)
+}
+
+// ScalingCurve is a scalability experiment's artifact: the rendered
+// overhead-classes-vs-P table plus the machine-readable per-P curve
+// (ScalingCurve.CurveData) that paperbench emits into BENCH_*.json.
+type ScalingCurve = workload.ScalingCurve
+
+// OverheadScaling runs one application on one memory system across machine
+// sizes and decomposes execution time into the paper's overhead classes.
+var OverheadScaling = workload.OverheadScaling
+
+// ScalingExperiments returns the scalability family S1..S4 (overhead
+// classes vs P for each paper application on RCinv) over the given machine
+// sizes; nil selects DefaultScalingProcs. The family is indexed separately
+// from Experiments() so the default regeneration's metric totals stay
+// comparable across records.
+func ScalingExperiments(procs []int) []Experiment { return workload.ScalingExperiments(procs) }
+
+// DefaultScalingProcs returns the scalability family's default machine
+// sizes: 64, 256, 1024.
+func DefaultScalingProcs() []int { return workload.DefaultScalingProcs() }
 
 // LitmusTests returns the hand-written litmus programs in suite order.
 func LitmusTests() []LitmusTest { return litmus.Tests() }

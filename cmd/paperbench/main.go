@@ -22,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"zsim"
@@ -38,7 +40,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
 		md       = flag.Bool("md", false, "emit tables as markdown")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG into this directory")
-		expID    = flag.String("exp", "", "run a single experiment by ID (E1..E20)")
+		expID    = flag.String("exp", "", "run a single experiment by ID (E1..E20, S1..S4)")
+		scaling  = flag.String("scaling-procs", "", "comma-separated machine sizes for the S-family scalability experiments (empty = 64,256,1024)")
 		list     = flag.Bool("list", false, "list the experiment index and exit")
 		claims   = flag.Bool("claims", false, "machine-check the paper's claims and print the verdicts")
 		matrix   = flag.Bool("matrix", false, "print the overhead%% matrix: every app on every system")
@@ -51,6 +54,9 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC snapshot) to this file on exit")
 	)
 	flag.Parse()
+
+	scalingProcs, err := parseProcsList(*scaling)
+	check(err)
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	check(err)
@@ -126,12 +132,40 @@ func main() {
 		for _, e := range zsim.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		for _, e := range zsim.ScalingExperiments(scalingProcs) {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
 	case *expID != "":
-		e, err := zsim.FindExperiment(*expID)
+		e, err := zsim.FindExperimentScaled(*expID, scalingProcs)
 		check(err)
+		expStart := time.Now()
 		art, err := e.Run(sc, params)
 		check(err)
 		emitArtifact(e.ID, art)
+		if *benchOut != "" {
+			rec := benchrec.Record{
+				Scale:        *scale,
+				Procs:        *procs,
+				Parallel:     *parallel,
+				KernelShards: *shards,
+				GOMAXPROCS:   runtime.GOMAXPROCS(0),
+				NumCPU:       runtime.NumCPU(),
+				Experiments: []benchrec.Entry{
+					{ID: e.ID, Title: e.Title, WallMS: msSince(expStart)},
+				},
+			}
+			rec.TotalWallMS = rec.Experiments[0].WallMS
+			if c, ok := art.(interface{ CurveData() benchrec.Curve }); ok {
+				rec.Curves = append(rec.Curves, c.CurveData())
+			}
+			if zsim.MetricsEnabled() {
+				snap := zsim.GlobalMetrics()
+				rec.Metrics = &snap
+			}
+			rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+			check(rec.Write(*benchOut))
+			fmt.Printf("wrote %s (%s, %.0f ms)\n", *benchOut, e.ID, rec.TotalWallMS)
+		}
 	case *fig != 0:
 		f, err := zsim.PaperFigure(*fig, sc, params)
 		check(err)
@@ -189,6 +223,23 @@ func main() {
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+// parseProcsList parses a comma-separated machine-size list ("64,256"); an
+// empty string selects the workload package's defaults (nil).
+func parseProcsList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scaling-procs entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func check(err error) {
 	if err != nil {

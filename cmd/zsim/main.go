@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"zsim"
 	"zsim/internal/prof"
@@ -33,6 +35,8 @@ func main() {
 		threads  = flag.Int("threads", 1, "hardware threads per node (procs must be divisible)")
 		pfile    = flag.String("params", "", "JSON parameter file (overrides the other machine flags)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		expID    = flag.String("exp", "", "run one indexed experiment (E1..E20, S1..S4) and exit")
+		scaling  = flag.String("scaling-procs", "", "comma-separated machine sizes for the S-family scalability experiments (empty = 64,256,1024)")
 		litmus   = flag.Bool("litmus", false, "run the litmus suite on every memory system and exit")
 		chkFlag  = flag.Bool("check", false, "attach the memory-consistency conformance checker")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations run concurrently for -all and -litmus (1 = serial; output is identical at any setting)")
@@ -84,6 +88,32 @@ func main() {
 			fmt.Println("\nmetrics:")
 			fmt.Print(zsim.GlobalMetrics().String())
 		}
+	}
+
+	if *expID != "" {
+		var sprocs []int
+		for _, f := range strings.Split(*scaling, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -scaling-procs entry %q", f))
+			}
+			sprocs = append(sprocs, n)
+		}
+		e, err := zsim.FindExperimentScaled(*expID, sprocs)
+		if err != nil {
+			fatal(err)
+		}
+		art, err := e.Run(sc, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(art.Render())
+		printMetrics()
+		return
 	}
 
 	if *litmus {

@@ -32,6 +32,10 @@ type Record struct {
 	TotalWallMS       float64           `json:"total_wall_ms"`
 	ExperimentsPerSec float64           `json:"experiments_per_sec"`
 	Metrics           *metrics.Snapshot `json:"metrics,omitempty"`
+	// Curves holds per-P scalability curves (the S-family experiments):
+	// simulated quantities, so the gate compares them like watched metrics,
+	// not like wall-clock timings.
+	Curves []Curve `json:"curves,omitempty"`
 }
 
 // Entry is one experiment's wall-clock timing.
@@ -39,6 +43,27 @@ type Entry struct {
 	ID     string  `json:"id"`
 	Title  string  `json:"title"`
 	WallMS float64 `json:"wall_ms"`
+}
+
+// Curve is one scalability experiment's simulated overhead-class curve:
+// one point per machine size. Every quantity is virtual (cycles), so two
+// records of the same simulation must agree exactly.
+type Curve struct {
+	ID     string       `json:"id"` // experiment ID (S1..)
+	App    string       `json:"app"`
+	System string       `json:"system"`
+	Points []CurvePoint `json:"points"`
+}
+
+// CurvePoint is one machine size's overhead decomposition.
+type CurvePoint struct {
+	Procs       int     `json:"procs"`
+	ExecCycles  float64 `json:"exec_cycles"`
+	ReadStall   float64 `json:"read_stall"`
+	WriteStall  float64 `json:"write_stall"`
+	BufferFlush float64 `json:"buffer_flush"`
+	SyncWait    float64 `json:"sync_wait"`
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // Load reads a record from path.
@@ -227,6 +252,62 @@ func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 		}
 	} else if old.Metrics == nil && new.Metrics != nil {
 		deltas = append(deltas, Delta{Name: "metrics", Note: "baseline has no metrics section; skipped"})
+	}
+
+	// Scalability curves: simulated quantities, gated like watched metrics.
+	// Higher is worse in the normal mode; any drift fails a metrics-only
+	// identity gate. Curves or points present in only one record are noted
+	// but never regress (the S-family and its -scaling-procs grid grow).
+	oldCurves := make(map[string]Curve, len(old.Curves))
+	for _, c := range old.Curves {
+		oldCurves[c.ID] = c
+	}
+	for _, c := range new.Curves {
+		oc, ok := oldCurves[c.ID]
+		if !ok {
+			deltas = append(deltas, Delta{Name: "curve " + c.ID, Note: "only in new"})
+			continue
+		}
+		oldPts := make(map[int]CurvePoint, len(oc.Points))
+		for _, p := range oc.Points {
+			oldPts[p.Procs] = p
+		}
+		for _, p := range c.Points {
+			op, ok := oldPts[p.Procs]
+			if !ok {
+				deltas = append(deltas, Delta{Name: fmt.Sprintf("curve %s P=%d", c.ID, p.Procs), Note: "only in new"})
+				continue
+			}
+			for _, q := range []struct {
+				name string
+				o, n float64
+			}{
+				{"exec_cycles", op.ExecCycles, p.ExecCycles},
+				{"read_stall", op.ReadStall, p.ReadStall},
+				{"write_stall", op.WriteStall, p.WriteStall},
+				{"buffer_flush", op.BufferFlush, p.BufferFlush},
+				{"sync_wait", op.SyncWait, p.SyncWait},
+			} {
+				if q.o == 0 && q.n == 0 {
+					continue
+				}
+				d := Delta{
+					Name: fmt.Sprintf("curve %s P=%d %s", c.ID, p.Procs, q.name),
+					Old:  q.o, New: q.n, Pct: pctDelta(q.o, q.n),
+				}
+				switch {
+				case q.o == 0:
+					d.Note = "no baseline"
+				case opts.MetricsOnly && (q.n > q.o*(1+mtol) || q.n < q.o*(1-mtol)):
+					d.Regression = true
+				case opts.MetricsOnly:
+				case q.n > q.o*(1+mtol):
+					d.Regression = true
+				}
+				deltas = append(deltas, d)
+				regressed = regressed || d.Regression
+			}
+		}
 	}
 
 	return deltas, regressed

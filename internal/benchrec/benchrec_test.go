@@ -254,3 +254,88 @@ func TestDiffMetricsOnly(t *testing.T) {
 		t.Fatal("0.1% drift failed a 1% metrics-only gate")
 	}
 }
+
+func curveRecord() *Record {
+	r := sampleRecord()
+	r.Curves = []Curve{{
+		ID: "S2", App: "is", System: "rcinv",
+		Points: []CurvePoint{
+			{Procs: 64, ExecCycles: 1000, ReadStall: 400, WriteStall: 50, BufferFlush: 20, SyncWait: 300, OverheadPct: 40},
+			{Procs: 256, ExecCycles: 5000, ReadStall: 2500, WriteStall: 300, BufferFlush: 90, SyncWait: 1800, OverheadPct: 55},
+		},
+	}}
+	return r
+}
+
+// TestDiffCurves: curve points are simulated quantities — gated like
+// watched metrics (higher is worse normally; any drift fails the identity
+// gate), and set growth is informational.
+func TestDiffCurves(t *testing.T) {
+	opts := Options{Tolerance: 0.25, MetricTolerance: 0.1}
+
+	// Identical curves: clean.
+	if deltas, regressed := Diff(curveRecord(), curveRecord(), opts); regressed {
+		t.Fatalf("self-compare regressed:\n%s", Format(deltas, opts))
+	}
+
+	// A point's exec cycles grow past metric tolerance: regression.
+	worse := curveRecord()
+	worse.Curves[0].Points[1].ExecCycles = 6000 // +20% > 10%
+	deltas, regressed := Diff(curveRecord(), worse, opts)
+	if !regressed {
+		t.Fatalf("curve-point growth passed the gate:\n%s", Format(deltas, opts))
+	}
+
+	// A DROP in exec cycles is an improvement in the normal mode...
+	better := curveRecord()
+	better.Curves[0].Points[1].ExecCycles = 4000
+	if deltas, regressed := Diff(curveRecord(), better, opts); regressed {
+		t.Fatalf("curve-point improvement regressed:\n%s", Format(deltas, opts))
+	}
+	// ...but fails the exact identity gate (serial vs sharded must agree).
+	ident := Options{MetricsOnly: true}
+	if _, regressed := Diff(curveRecord(), better, ident); !regressed {
+		t.Fatal("curve drift passed the exact identity gate")
+	}
+
+	// New curves and new points are informational, not regressions.
+	grown := curveRecord()
+	grown.Curves[0].Points = append(grown.Curves[0].Points,
+		CurvePoint{Procs: 1024, ExecCycles: 30000})
+	grown.Curves = append(grown.Curves, Curve{ID: "S3", App: "maxflow", System: "rcinv",
+		Points: []CurvePoint{{Procs: 64, ExecCycles: 700}}})
+	deltas, regressed = Diff(curveRecord(), grown, opts)
+	if regressed {
+		t.Fatalf("curve growth regressed:\n%s", Format(deltas, opts))
+	}
+	var sawPoint, sawCurve bool
+	for _, d := range deltas {
+		if d.Name == "curve S2 P=1024" && d.Note == "only in new" {
+			sawPoint = true
+		}
+		if d.Name == "curve S3" && d.Note == "only in new" {
+			sawCurve = true
+		}
+	}
+	if !sawPoint || !sawCurve {
+		t.Fatalf("growth notes missing (point %v, curve %v):\n%s", sawPoint, sawCurve, Format(deltas, opts))
+	}
+}
+
+// TestCurveRoundTrip: curves survive the Write/Load cycle.
+func TestCurveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_curves.json")
+	if err := curveRecord().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Curves) != 1 || got.Curves[0].ID != "S2" || len(got.Curves[0].Points) != 2 {
+		t.Fatalf("curves lost in round trip: %+v", got.Curves)
+	}
+	if p := got.Curves[0].Points[1]; p.Procs != 256 || p.ExecCycles != 5000 || p.OverheadPct != 55 {
+		t.Fatalf("point lost in round trip: %+v", p)
+	}
+}

@@ -44,35 +44,100 @@ func (s State) String() string {
 	return "?"
 }
 
-// Bitset is a set of processor ids (supports up to 64 processors).
-type Bitset uint64
+// BitsetWords is the width of a presence set in 64-bit words, sized for
+// memsys.MaxProcs processors.
+const BitsetWords = memsys.MaxProcs / 64
+
+// Bitset is a set of processor ids covering memsys.MaxProcs processors.
+// The zero value is the empty set.
+//
+// The representation is width-adaptive so the many-core cap costs small
+// machines nothing: processors 0–63 live in one inline word (the entire
+// footprint of a machine at or below the seed's 64-processor ceiling, and
+// the entry stays compact inside the paged directory tables), while the
+// high words are allocated at most once per set, the first time a
+// processor >= 64 is added. Machines with at most 64 processors therefore
+// never allocate (the per-request hot path stays allocation-free, pinned
+// by AllocsPerRun); larger machines pay one amortized allocation per
+// directory entry. A Bitset must not be copied once a high processor has
+// been added (the high words would be shared); the directory only ever
+// hands out pointers to entries in place.
+type Bitset struct {
+	w0  uint64                   // processors 0..63
+	ext *[BitsetWords - 1]uint64 // processors 64..MaxProcs-1, nil until needed
+}
 
 // Add inserts processor p.
-func (b *Bitset) Add(p int) { *b |= 1 << uint(p) }
+func (b *Bitset) Add(p int) {
+	if uint(p) < 64 {
+		b.w0 |= 1 << uint(p)
+		return
+	}
+	if b.ext == nil {
+		b.ext = new([BitsetWords - 1]uint64)
+	}
+	b.ext[uint(p)/64-1] |= 1 << (uint(p) % 64)
+}
 
 // Remove deletes processor p.
-func (b *Bitset) Remove(p int) { *b &^= 1 << uint(p) }
+func (b *Bitset) Remove(p int) {
+	if uint(p) < 64 {
+		b.w0 &^= 1 << uint(p)
+		return
+	}
+	if b.ext != nil {
+		b.ext[uint(p)/64-1] &^= 1 << (uint(p) % 64)
+	}
+}
 
 // Has reports membership of processor p.
-func (b Bitset) Has(p int) bool { return b&(1<<uint(p)) != 0 }
+func (b *Bitset) Has(p int) bool {
+	if uint(p) < 64 {
+		return b.w0&(1<<uint(p)) != 0
+	}
+	return b.ext != nil && b.ext[uint(p)/64-1]&(1<<(uint(p)%64)) != 0
+}
 
 // Count returns the set's cardinality.
-func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+func (b *Bitset) Count() int {
+	n := bits.OnesCount64(b.w0)
+	if b.ext != nil {
+		for _, w := range b.ext {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
 
-// Clear empties the set.
-func (b *Bitset) Clear() { *b = 0 }
+// Clear empties the set. An allocated high-word block is kept (zeroed) so
+// a recycled entry does not reallocate it.
+func (b *Bitset) Clear() {
+	b.w0 = 0
+	if b.ext != nil {
+		*b.ext = [BitsetWords - 1]uint64{}
+	}
+}
 
-// ForEach visits members in ascending processor order.
-func (b Bitset) ForEach(f func(p int)) {
-	for v := uint64(b); v != 0; {
-		p := bits.TrailingZeros64(v)
-		f(p)
-		v &^= 1 << uint(p)
+// ForEach visits members in ascending processor order. Iteration reads each
+// word once before visiting its members, so removing already-visited or
+// not-yet-visited members of the same word from inside f does not disturb
+// the traversal (the update protocols prune sharers mid-iteration).
+func (b *Bitset) ForEach(f func(p int)) {
+	for w := b.w0; w != 0; w &= w - 1 {
+		f(bits.TrailingZeros64(w))
+	}
+	if b.ext == nil {
+		return
+	}
+	for i := range b.ext {
+		for w := b.ext[i]; w != 0; w &= w - 1 {
+			f((i+1)*64 + bits.TrailingZeros64(w))
+		}
 	}
 }
 
 // List returns the members in ascending order.
-func (b Bitset) List() []int {
+func (b *Bitset) List() []int {
 	out := make([]int, 0, b.Count())
 	b.ForEach(func(p int) { out = append(out, p) })
 	return out

@@ -78,6 +78,86 @@ func TestBitsetProperty(t *testing.T) {
 	}
 }
 
+// TestBitsetWide exercises processor ids beyond the first word: word
+// boundaries (63/64/65, 127/128/129) and the very last id the presence set
+// can hold (memsys.MaxProcs-1).
+func TestBitsetWide(t *testing.T) {
+	ids := []int{0, 1, 63, 64, 65, 127, 128, 129, 511, 512, 1022, 1023}
+	var b Bitset
+	for _, p := range ids {
+		b.Add(p)
+	}
+	if b.Count() != len(ids) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(ids))
+	}
+	for _, p := range ids {
+		if !b.Has(p) {
+			t.Fatalf("missing member %d", p)
+		}
+	}
+	// Neighbours across word boundaries must not alias.
+	for _, p := range []int{2, 62, 66, 126, 130, 510, 513, 1021} {
+		if b.Has(p) {
+			t.Fatalf("phantom member %d", p)
+		}
+	}
+	got := b.List()
+	for i, p := range ids {
+		if got[i] != p {
+			t.Fatalf("List = %v, want %v", got, ids)
+		}
+	}
+	// Removing a member in one word leaves the others untouched.
+	b.Remove(64)
+	if b.Has(64) || !b.Has(63) || !b.Has(65) || b.Count() != len(ids)-1 {
+		t.Fatalf("word-boundary remove corrupted neighbours: %v", b.List())
+	}
+	b.Clear()
+	if b.Count() != 0 || b.Has(1023) {
+		t.Fatal("Clear left wide members behind")
+	}
+}
+
+// TestBitsetWidthConstant pins the presence set's capacity to the
+// processor cap: BitsetWords*64 ids must cover exactly memsys.MaxProcs.
+func TestBitsetWidthConstant(t *testing.T) {
+	if BitsetWords*64 != memsys.MaxProcs {
+		t.Fatalf("BitsetWords = %d does not cover MaxProcs = %d", BitsetWords, memsys.MaxProcs)
+	}
+	var b Bitset
+	b.Add(memsys.MaxProcs - 1)
+	if !b.Has(memsys.MaxProcs-1) || b.Count() != 1 {
+		t.Fatal("last representable processor id not stored")
+	}
+}
+
+// TestBitsetForEachRemoveDuringIteration pins the snapshot semantics the
+// update protocols rely on: removing the visited member (or any member of
+// an already-read word) inside the callback must not disturb traversal.
+func TestBitsetForEachRemoveDuringIteration(t *testing.T) {
+	var b Bitset
+	ids := []int{3, 40, 63, 64, 100, 500, 1023}
+	for _, p := range ids {
+		b.Add(p)
+	}
+	var got []int
+	b.ForEach(func(p int) {
+		got = append(got, p)
+		b.Remove(p)
+	})
+	if len(got) != len(ids) {
+		t.Fatalf("visited %v, want %v", got, ids)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("visited %v, want %v", got, ids)
+		}
+	}
+	if b.Count() != 0 {
+		t.Fatalf("members survived self-removal: %v", b.List())
+	}
+}
+
 func TestEntryCreatedOnDemand(t *testing.T) {
 	d := New(16, 32)
 	if d.Entries() != 0 {

@@ -24,8 +24,9 @@ func TestParamsFromJSONRejectsUntrustedInput(t *testing.T) {
 		{"trailing scalar", `{"Procs":16} 7`, "trailing data"},
 		{"procs zero", `{"Procs":0}`, "Procs"},
 		{"procs negative", `{"Procs":-4}`, "Procs"},
-		{"procs over 64 cap", `{"Procs":65}`, "exceeds the 64-processor limit"},
-		{"procs far over cap", `{"Procs":4096}`, "exceeds the 64-processor limit"},
+		{"procs over 1024 cap", `{"Procs":1025}`, "exceeds the 1024-processor capacity"},
+		{"procs far over cap", `{"Procs":4096}`, "exceeds the 1024-processor capacity"},
+		{"hier non multiple of cluster", `{"Procs":24,"Topology":"hier"}`, "hier"},
 		{"hwthreads not dividing", `{"Procs":16,"HWThreads":3}`, "HWThreads"},
 		{"hwthreads negative", `{"HWThreads":-1}`, "HWThreads"},
 		{"line size not power of two", `{"LineSize":24}`, "LineSize"},
@@ -64,7 +65,10 @@ func TestParamsFromJSONBoundaryAccepts(t *testing.T) {
 		name string
 		in   string
 	}{
-		{"procs at the 64 cap", `{"Procs":64}`},
+		{"procs at the old 64 ceiling", `{"Procs":64}`},
+		{"procs at the 1024 cap", `{"Procs":1024}`},
+		{"many-core 256", `{"Procs":256}`},
+		{"hier topology", `{"Procs":256,"Topology":"hier"}`},
 		{"single proc", `{"Procs":1}`},
 		{"empty object keeps defaults", `{}`},
 		{"null keeps defaults", `null`},
@@ -85,11 +89,14 @@ func TestParamsFromJSONBoundaryAccepts(t *testing.T) {
 			}
 		})
 	}
-	pa, err := ParamsFromJSON([]byte(`{"Procs":64}`))
+	pa, err := ParamsFromJSON([]byte(`{"Procs":1024}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pa.Procs != MaxProcs {
 		t.Fatalf("Procs = %d, want the %d cap", pa.Procs, MaxProcs)
+	}
+	if pa.MeshW != 32 || pa.MeshH != 32 {
+		t.Fatalf("mesh = %dx%d, want the recomputed 32x32", pa.MeshW, pa.MeshH)
 	}
 }

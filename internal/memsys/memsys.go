@@ -28,10 +28,18 @@ func WordIndex(addr Addr) uint64 { return uint64(addr / WordSize) }
 // Line returns the cache-line index of addr for the given line size.
 func Line(addr Addr, lineSize int) Addr { return addr / Addr(lineSize) }
 
-// MaxProcs is the largest supported processor count: the directory's
-// presence bitset (directory.Bitset) is a uint64, one bit per processor, so
-// a 65th processor would silently alias processor 0's presence bit.
-const MaxProcs = 64
+// MaxProcs is the largest supported processor count. The directory's
+// presence sets (directory.Bitset) are fixed arrays of MaxProcs/64 64-bit
+// words, and the stock topologies are validated up to this node count
+// (a 32×32 mesh at one hardware thread per node). Dir-i limited-pointer
+// directories (Params.DirPointers) are the documented scalable alternative
+// when full-map presence sets get too wide to be realistic hardware.
+const MaxProcs = 1024
+
+// HierClusterNodes is the cluster size of the hierarchical ("hier")
+// topology: every cluster is the paper's 4×4 mesh, and clusters are tiled
+// in a higher-level mesh routed through each cluster's gateway node.
+const HierClusterNodes = 16
 
 // Kind identifies a memory system implementation.
 type Kind string

@@ -7,7 +7,7 @@ import (
 )
 
 func TestDefaultValid(t *testing.T) {
-	for _, p := range []int{1, 2, 4, 8, 12, 16, 32, 64} {
+	for _, p := range []int{1, 2, 4, 8, 12, 16, 32, 64, 256, 1024} {
 		if err := Default(p).Validate(); err != nil {
 			t.Errorf("Default(%d) invalid: %v", p, err)
 		}
@@ -39,7 +39,7 @@ func TestDefaultMatchesPaper(t *testing.T) {
 func TestValidateCatchesErrors(t *testing.T) {
 	bad := []func(*Params){
 		func(p *Params) { p.Procs = 0 },
-		func(p *Params) { p.Procs = 65; p.MeshW = 13; p.MeshH = 5 },
+		func(p *Params) { p.Procs = MaxProcs + 1; p.MeshW = 25; p.MeshH = 41 },
 		func(p *Params) { p.MeshW = 3 },
 		func(p *Params) { p.LineSize = 24 },
 		func(p *Params) { p.ZLineSize = 0 },
@@ -59,22 +59,31 @@ func TestValidateCatchesErrors(t *testing.T) {
 	}
 }
 
-func TestValidateRejectsProcsOver64(t *testing.T) {
-	// Regression: the directory's presence bitset is one uint64 bit per
-	// processor, so a 65th processor would silently alias processor 1's bit.
-	// Validate must refuse instead of corrupting sharer tracking.
-	p := Default(64)
+func TestValidateRejectsProcsOverCap(t *testing.T) {
+	// The directory's presence sets are fixed MaxProcs/64-word arrays and
+	// the stock topologies are validated up to MaxProcs nodes; one more
+	// processor would index past the presence words. Validate must refuse
+	// instead of corrupting sharer tracking, and the error must name the
+	// configured topology's capacity, not a stale uint64 rationale.
+	p := Default(MaxProcs)
 	if err := p.Validate(); err != nil {
-		t.Fatalf("Default(64) must validate: %v", err)
+		t.Fatalf("Default(%d) must validate: %v", MaxProcs, err)
 	}
-	p.Procs = 65
-	p.MeshW, p.MeshH = 13, 5
+	p.Procs = MaxProcs + 1
+	p.MeshW, p.MeshH = 25, 41 // 25*41 = 1025: the mesh covers, the cap still rejects
 	err := p.Validate()
 	if err == nil {
-		t.Fatal("Procs = 65 must be rejected")
+		t.Fatalf("Procs = %d must be rejected", MaxProcs+1)
 	}
-	if want := "65"; !strings.Contains(err.Error(), want) {
-		t.Errorf("error %q should name the offending count %s", err, want)
+	for _, want := range []string{"1025", "1024-processor capacity", `"mesh" topology`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+	// The named capacity follows the configured topology.
+	p.Topology = "torus"
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), `"torus" topology`) {
+		t.Errorf("error %v should name the configured torus topology", err)
 	}
 }
 
@@ -331,6 +340,70 @@ func TestShardOfNodeBands(t *testing.T) {
 	p = DefaultMT(16, 2) // 8 nodes, 2 threads each
 	p.KernelShards = 2
 	for stream := 0; stream < 16; stream++ {
+		if got, want := p.ShardOfProc(stream), p.ShardOfNode(stream/2); got != want {
+			t.Errorf("ShardOfProc(%d) = %d, want node shard %d", stream, got, want)
+		}
+	}
+}
+
+// TestShardOfNodeBandsManyCore repeats the band invariants beyond the old
+// 64-processor ceiling: 256 nodes (16×16 mesh) and 1024 nodes (32×32
+// mesh), plus the hierarchical topology where contiguous bands must group
+// whole 16-node clusters when the shard count divides the cluster count.
+func TestShardOfNodeBandsManyCore(t *testing.T) {
+	cases := []struct {
+		procs  int
+		topo   string
+		shards []int
+	}{
+		{256, "mesh", []int{2, 4, 8, 16}},
+		{1024, "mesh", []int{4, 8, 32}},
+		{256, "hier", []int{4, 8, 16}},
+	}
+	for _, c := range cases {
+		p := Default(c.procs)
+		p.Topology = c.topo
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Procs=%d %s: %v", c.procs, c.topo, err)
+		}
+		for _, shards := range c.shards {
+			p.KernelShards = shards
+			sizes := make([]int, shards)
+			prev := 0
+			for node := 0; node < p.Nodes(); node++ {
+				s := p.ShardOfNode(node)
+				if s < 0 || s >= shards {
+					t.Fatalf("Procs=%d %s shards=%d: ShardOfNode(%d) = %d out of range", c.procs, c.topo, shards, node, s)
+				}
+				if s < prev {
+					t.Fatalf("Procs=%d %s shards=%d: shard map not monotone at node %d", c.procs, c.topo, shards, node)
+				}
+				prev = s
+				sizes[s]++
+			}
+			for s, n := range sizes {
+				if min := p.Nodes() / shards; n < min || n > min+1 {
+					t.Errorf("Procs=%d %s shards=%d: shard %d has %d nodes, want %d or %d", c.procs, c.topo, shards, s, n, min, min+1)
+				}
+			}
+			if c.topo == "hier" && p.Nodes()/shards%HierClusterNodes == 0 {
+				// Cluster-major numbering: a band that is a multiple of the
+				// cluster size never splits a cluster across shards.
+				for node := 0; node < p.Nodes(); node += HierClusterNodes {
+					first := p.ShardOfNode(node)
+					for off := 1; off < HierClusterNodes; off++ {
+						if got := p.ShardOfNode(node + off); got != first {
+							t.Fatalf("Procs=%d hier shards=%d: cluster at node %d split across shards %d/%d", c.procs, shards, node, first, got)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Stream→shard mapping at 256 procs on 128 nodes.
+	p := DefaultMT(256, 2)
+	p.KernelShards = 4
+	for stream := 0; stream < 256; stream += 17 {
 		if got, want := p.ShardOfProc(stream), p.ShardOfNode(stream/2); got != want {
 			t.Errorf("ShardOfProc(%d) = %d, want node shard %d", stream, got, want)
 		}

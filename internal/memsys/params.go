@@ -21,7 +21,10 @@ type Params struct {
 	MeshW, MeshH int // interconnect dimensions; MeshW*MeshH must equal Nodes()
 
 	// Topology selects the interconnect: "mesh" (the paper's network,
-	// default), "torus", "hypercube", "xbar", or "bus".
+	// default), "torus", "hypercube", "xbar", "bus", or "hier" (a
+	// hierarchical cluster-of-meshes: 4×4 paper meshes tiled in a
+	// higher-level mesh, routed through per-cluster gateways; the node
+	// count must be a multiple of HierClusterNodes).
 	Topology string
 
 	LineSize  int // coherence unit of the real memory systems, bytes
@@ -162,7 +165,11 @@ func (pa Params) Validate() error {
 	case pa.Procs <= 0:
 		return fmt.Errorf("memsys: Procs = %d, need > 0", pa.Procs)
 	case pa.Procs > MaxProcs:
-		return fmt.Errorf("memsys: Procs = %d exceeds the %d-processor limit (the directory's presence bitset is one uint64 bit per processor)", pa.Procs, MaxProcs)
+		topo := pa.Topology
+		if topo == "" {
+			topo = "mesh"
+		}
+		return fmt.Errorf("memsys: Procs = %d exceeds the %d-processor capacity of the %q topology (stock topologies are sized for at most %d nodes and presence sets for %d words of 64 processors)", pa.Procs, MaxProcs, topo, MaxProcs, MaxProcs/64)
 	case pa.HWThreads <= 0 || pa.Procs%pa.HWThreads != 0:
 		return fmt.Errorf("memsys: HWThreads = %d must divide Procs = %d", pa.HWThreads, pa.Procs)
 	case pa.MeshW*pa.MeshH != pa.Procs/pa.HWThreads:
@@ -206,6 +213,11 @@ func (pa Params) Validate() error {
 		n := pa.Nodes()
 		if n&(n-1) != 0 {
 			return fmt.Errorf("memsys: hypercube needs a power-of-two node count, got %d", n)
+		}
+	case "hier":
+		n := pa.Nodes()
+		if n%HierClusterNodes != 0 {
+			return fmt.Errorf("memsys: hier topology needs a multiple of %d nodes (4x4 clusters), got %d", HierClusterNodes, n)
 		}
 	default:
 		return fmt.Errorf("memsys: unknown topology %q", pa.Topology)

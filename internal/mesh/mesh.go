@@ -43,7 +43,8 @@ type Net struct {
 }
 
 // HopBuckets are the inclusive upper bounds of the mesh.hops histogram.
-var HopBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16} //zlint:ignore globalmut immutable bucket bounds, never written after package init
+// The tail covers many-core meshes: a 32×32 mesh routes up to 62 hops.
+var HopBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64} //zlint:ignore globalmut immutable bucket bounds, never written after package init
 
 // InstrumentMetrics attaches the per-message hop histogram (implements
 // metrics.Instrumentable).

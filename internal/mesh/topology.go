@@ -3,6 +3,8 @@ package mesh
 import (
 	"fmt"
 	"math/bits"
+
+	"zsim/internal/memsys"
 )
 
 // Topology computes routes between nodes. The SPASM framework the paper
@@ -43,8 +45,10 @@ func Path(t Topology, src, dst int) []int {
 // NewTopology builds the named topology over n nodes. Supported names:
 // "mesh" (2-D mesh, XY routing — the paper's network), "torus" (2-D with
 // wrap-around links), "hypercube" (dimension-order routing; n must be a
-// power of two), "xbar" (full crossbar: every pair one hop), and "bus"
-// (single shared medium: every transfer serializes).
+// power of two), "xbar" (full crossbar: every pair one hop), "bus"
+// (single shared medium: every transfer serializes), and "hier" (a
+// hierarchical cluster-of-meshes; n must be a multiple of
+// memsys.HierClusterNodes).
 func NewTopology(name string, w, h int) (Topology, error) {
 	n := w * h
 	switch name {
@@ -61,6 +65,8 @@ func NewTopology(name string, w, h int) (Topology, error) {
 		return &directTopo{n: n, shared: false}, nil
 	case "bus":
 		return &directTopo{n: n, shared: true}, nil
+	case "hier":
+		return newHierTopo(n)
 	}
 	return nil, fmt.Errorf("mesh: unknown topology %q", name)
 }
@@ -151,6 +157,75 @@ func (c *cubeTopo) Hops(src, dst int) int { return bits.OnesCount(uint(src ^ dst
 
 // Dim returns the hypercube dimension.
 func (c *cubeTopo) Dim() int { return bits.TrailingZeros(uint(c.n)) }
+
+// hierTopo is a hierarchical cluster-of-meshes: every cluster is the
+// paper's 4×4 mesh (memsys.HierClusterNodes nodes), and the clusters are
+// tiled in a higher-level cw×ch mesh. Node numbering is cluster-major
+// (node = cluster*16 + local, local row-major inside the cluster), so the
+// kernel's contiguous shard bands (memsys.ShardOfNode) group whole
+// clusters and every cross-shard message crosses a cluster boundary.
+//
+// Routing is two-level dimension order: inside the destination cluster an
+// ordinary XY route; between clusters the message first drains to the
+// source cluster's gateway (local node 0), then steps gateway-to-gateway
+// across the cluster-level mesh, then routes XY from the destination
+// gateway to the destination node. Inter-cluster links therefore exist
+// only between adjacent clusters' gateways, and those links serialize all
+// cross-cluster traffic of the pair — the modelled cost of a hierarchy.
+type hierTopo struct {
+	intra gridTopo // the 4×4 cluster mesh
+	inter gridTopo // the cw×ch mesh of clusters
+}
+
+func newHierTopo(n int) (*hierTopo, error) {
+	cn := memsys.HierClusterNodes
+	if n <= 0 || n%cn != 0 {
+		return nil, fmt.Errorf("mesh: hier topology needs a positive multiple of %d nodes (4x4 clusters), got %d", cn, n)
+	}
+	clusters := n / cn
+	best := 1
+	for d := 1; d*d <= clusters; d++ {
+		if clusters%d == 0 {
+			best = d
+		}
+	}
+	return &hierTopo{
+		intra: gridTopo{w: 4, h: 4},
+		inter: gridTopo{w: clusters / best, h: best},
+	}, nil
+}
+
+func (t *hierTopo) Name() string { return "hier" }
+func (t *hierTopo) Nodes() int   { return t.inter.Nodes() * t.intra.Nodes() }
+func (t *hierTopo) Shared() bool { return false }
+
+// Clusters returns the cluster-level mesh dimensions.
+func (t *hierTopo) Clusters() (w, h int) { return t.inter.w, t.inter.h }
+
+func (t *hierTopo) NextHop(cur, dst int) int {
+	cn := t.intra.Nodes()
+	cc, cl := cur/cn, cur%cn
+	dc, dl := dst/cn, dst%cn
+	if cc == dc {
+		return cc*cn + t.intra.NextHop(cl, dl)
+	}
+	if cl != 0 {
+		// Drain to the local gateway first.
+		return cc*cn + t.intra.NextHop(cl, 0)
+	}
+	// Gateway-to-gateway step across the cluster mesh.
+	return t.inter.NextHop(cc, dc) * cn
+}
+
+func (t *hierTopo) Hops(src, dst int) int {
+	cn := t.intra.Nodes()
+	sc, sl := src/cn, src%cn
+	dc, dl := dst/cn, dst%cn
+	if sc == dc {
+		return t.intra.Hops(sl, dl)
+	}
+	return t.intra.Hops(sl, 0) + t.inter.Hops(sc, dc) + t.intra.Hops(0, dl)
+}
 
 // directTopo connects every pair with one hop: a crossbar when each pair
 // has its own link, a bus when all transfers share one medium.

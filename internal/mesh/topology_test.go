@@ -15,7 +15,7 @@ func topoNet(t *testing.T, name string, procs int) *Net {
 	return n
 }
 
-func allTopos() []string { return []string{"mesh", "torus", "hypercube", "xbar", "bus"} }
+func allTopos() []string { return []string{"mesh", "torus", "hypercube", "xbar", "bus", "hier"} }
 
 func TestTopologyNames(t *testing.T) {
 	for _, name := range allTopos() {
@@ -153,6 +153,122 @@ func TestSendMatchesUncontendedPerTopology(t *testing.T) {
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// walkLen counts NextHop steps from src to dst, failing the test if the
+// walk does not terminate within the node count (a routing cycle).
+func walkLen(t *testing.T, topo Topology, src, dst int) int {
+	t.Helper()
+	steps := 0
+	for cur := src; cur != dst; {
+		next := topo.NextHop(cur, dst)
+		if next == cur {
+			t.Fatalf("%s: NextHop(%d,%d) stuck at %d", topo.Name(), src, dst, cur)
+		}
+		cur = next
+		if steps++; steps > topo.Nodes() {
+			t.Fatalf("%s: route %d->%d does not terminate", topo.Name(), src, dst)
+		}
+	}
+	return steps
+}
+
+func TestHierNeedsClusterMultiple(t *testing.T) {
+	if _, err := NewTopology("hier", 4, 3); err == nil {
+		t.Fatal("expected error for 12 nodes")
+	}
+	p := memsys.Default(24)
+	p.Topology = "hier"
+	if err := p.Validate(); err == nil {
+		t.Fatal("params should reject a 24-node hier machine")
+	}
+}
+
+// TestHierRoutingConsistent: on the hierarchical topology the NextHop walk
+// length equals the arithmetic Hops for every pair — exhaustively at 64
+// nodes (a 2×2 grid of 4×4 clusters) and on the cluster-crossing diagonal
+// at 256 nodes (4×4 grid of clusters).
+func TestHierRoutingConsistent(t *testing.T) {
+	for _, nodes := range []int{16, 64} {
+		topo, err := NewTopology("hier", nodes/4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.Nodes() != nodes {
+			t.Fatalf("hier over %d nodes reports %d", nodes, topo.Nodes())
+		}
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				if got, want := walkLen(t, topo, s, d), topo.Hops(s, d); got != want {
+					t.Fatalf("hier %d nodes: walk %d->%d took %d hops, Hops says %d", nodes, s, d, got, want)
+				}
+			}
+		}
+	}
+	topo, err := NewTopology("hier", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 256; s += 7 {
+		for d := 255; d >= 0; d -= 11 {
+			if got, want := walkLen(t, topo, s, d), topo.Hops(s, d); got != want {
+				t.Fatalf("hier 256 nodes: walk %d->%d took %d hops, Hops says %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+// TestHierHopsDecompose pins the two-level distance: cross-cluster routes
+// cost (to local gateway) + (gateway-to-gateway) + (gateway to target).
+func TestHierHopsDecompose(t *testing.T) {
+	topo, err := NewTopology("hier", 8, 8) // 64 nodes, 2×2 clusters
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := topo.(*hierTopo)
+	if w, hh := h.Clusters(); w != 2 || hh != 2 {
+		t.Fatalf("cluster grid = %dx%d, want 2x2", w, hh)
+	}
+	// Node 5 (cluster 0, local 5 = (1,1)) to node 26 (cluster 1, local 10 =
+	// (2,2)): 2 hops to gateway 0, 1 cluster hop, 4 hops out to local 10.
+	if got := topo.Hops(5, 26); got != 7 {
+		t.Fatalf("Hops(5,26) = %d, want 7", got)
+	}
+	// Same cluster: plain 4×4 mesh distance.
+	if got := topo.Hops(5, 10); got != 2 {
+		t.Fatalf("Hops(5,10) = %d, want 2", got)
+	}
+	// Gateway to gateway of a diagonal cluster: two cluster-level hops.
+	if got := topo.Hops(0, 48); got != 2 {
+		t.Fatalf("Hops(0,48) = %d, want 2", got)
+	}
+}
+
+// TestWideMeshHops pins the many-core mesh diameters: 16×16 and 32×32
+// meshes route corner to corner in (w-1)+(h-1) hops and the walk agrees.
+func TestWideMeshHops(t *testing.T) {
+	for _, wh := range [][2]int{{16, 16}, {32, 32}} {
+		w, h := wh[0], wh[1]
+		topo, err := NewTopology("mesh", w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := w * h
+		corner := n - 1
+		if got, want := topo.Hops(0, corner), (w-1)+(h-1); got != want {
+			t.Fatalf("%dx%d corner hops = %d, want %d", w, h, got, want)
+		}
+		if got := walkLen(t, topo, 0, corner); got != topo.Hops(0, corner) {
+			t.Fatalf("%dx%d: walk %d != Hops %d", w, h, got, topo.Hops(0, corner))
+		}
+		for s := 0; s < n; s += 37 {
+			for d := 0; d < n; d += 41 {
+				if got, want := walkLen(t, topo, s, d), topo.Hops(s, d); got != want {
+					t.Fatalf("%dx%d: walk %d->%d took %d, Hops says %d", w, h, s, d, got, want)
+				}
+			}
 		}
 	}
 }

@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"fmt"
-
 	"zsim/internal/memsys"
 	"zsim/internal/stats"
 )
@@ -84,14 +82,11 @@ func Experiments() []Experiment {
 	}
 }
 
-// FindExperiment returns the experiment with the given ID.
+// FindExperiment returns the experiment with the given ID, searching both
+// the regeneration index (E1..) and the scalability family (S1..) at its
+// default machine sizes.
 func FindExperiment(id string) (Experiment, error) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e, nil
-		}
-	}
-	return Experiment{}, fmt.Errorf("workload: no experiment %q (want E1..E%d)", id, len(Experiments()))
+	return FindExperimentScaled(id, nil)
 }
 
 // Compile-time checks that both artifact types satisfy the interface.

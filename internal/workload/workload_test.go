@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -723,5 +724,84 @@ func TestSummaryMatrix(t *testing.T) {
 	}
 	if len(tbl.Rows) != 4 || len(tbl.Rows[0]) != len(memsys.Kinds())+1 {
 		t.Fatalf("matrix shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
+	}
+}
+
+// TestScalingExperimentsRegistry pins the S family's shape and its
+// deliberate separation from the default regeneration index: folding S1..S4
+// into Experiments() would change the metric totals CI's bench gate pins.
+func TestScalingExperimentsRegistry(t *testing.T) {
+	exps := ScalingExperiments(nil)
+	if len(exps) != len(AppNames()) {
+		t.Fatalf("S family has %d entries, want one per app (%d)", len(exps), len(AppNames()))
+	}
+	for i, e := range exps {
+		want := fmt.Sprintf("S%d", i+1)
+		if e.ID != want {
+			t.Errorf("scaling experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete entry", e.ID)
+		}
+	}
+	for _, e := range Experiments() {
+		if e.ID[0] == 'S' {
+			t.Errorf("S-family experiment %s leaked into the default regeneration index", e.ID)
+		}
+	}
+	if _, err := FindExperimentScaled("S2", nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExperimentScaled("E5", []int{2, 4}); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExperiment("S1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExperimentScaled("S9", nil); err == nil {
+		t.Error("expected error for unknown scaling experiment")
+	}
+}
+
+// TestOverheadScaling runs the curve builder at tiny machine sizes and pins
+// the artifact's two faces: the rendered table and the machine-readable
+// curve, which must be bit-identical with the kernel sharded.
+func TestOverheadScaling(t *testing.T) {
+	procs := []int{2, 4}
+	base := memsys.Default(2)
+	c, err := OverheadScaling("is", ScaleSmall, memsys.KindRCInv, base, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Table.Rows) != len(procs) {
+		t.Fatalf("table has %d rows, want %d", len(c.Table.Rows), len(procs))
+	}
+	cv := c.CurveData()
+	if cv.App != "is" || cv.System != string(memsys.KindRCInv) || len(cv.Points) != len(procs) {
+		t.Fatalf("curve header wrong: %+v", cv)
+	}
+	for i, p := range cv.Points {
+		if p.Procs != procs[i] || p.ExecCycles <= 0 {
+			t.Fatalf("point %d malformed: %+v", i, p)
+		}
+	}
+	if c.Render() == "" || c.Markdown() == "" {
+		t.Fatal("artifact renders empty")
+	}
+
+	sharded := base
+	sharded.KernelShards = 2
+	c2, err := OverheadScaling("is", ScaleSmall, memsys.KindRCInv, sharded, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv2 := c2.CurveData()
+	cv2.ID = cv.ID
+	if !reflect.DeepEqual(cv.Points, cv2.Points) {
+		t.Fatalf("curve diverged under kernel sharding:\n%+v\nvs\n%+v", cv.Points, cv2.Points)
+	}
+
+	if _, err := OverheadScaling("is", ScaleSmall, memsys.KindRCInv, base, nil); err == nil {
+		t.Error("expected error for empty machine-size list")
 	}
 }
