@@ -34,6 +34,12 @@ func TestParseArgs(t *testing.T) {
 			argv: []string{"a.json", "b.json", "-metrics-only", "-metric-tolerance", "0%"},
 			want: cliArgs{oldPath: "a.json", newPath: "b.json", tolerance: 0.25, metricTolerance: 0, minMS: 10, metricsOnly: true},
 		},
+		{
+			name: "scope report takes one file",
+			argv: []string{"-scope", "BENCH_sharded.json"},
+			want: cliArgs{oldPath: "BENCH_sharded.json", tolerance: 0.25, metricTolerance: -1, minMS: 10, scope: true},
+		},
+		{name: "scope with two files", argv: []string{"-scope", "a.json", "b.json"}, err: true},
 		{name: "one file", argv: []string{"a.json"}, err: true},
 		{name: "three files", argv: []string{"a", "b", "c"}, err: true},
 		{name: "unknown flag", argv: []string{"a.json", "b.json", "-bogus"}, err: true},

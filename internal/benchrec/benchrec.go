@@ -118,8 +118,7 @@ type watchedMetric struct {
 }
 
 var watchedMetrics = []watchedMetric{
-	{"sim.switches", +1},               // fast-path degradation: more channel handoffs
-	{"sim.fastpath_hits", -1},          // fast-path degradation: fewer inline returns
+	{"sim.yields", +1},                 // total scheduling points (switches + fast-path hits); trap count, mode-invariant
 	{"proto.read_misses", +1},          // coherence efficiency
 	{"proto.write_misses", +1},         //
 	{"proto.invalidations", +1},        //
@@ -128,6 +127,18 @@ var watchedMetrics = []watchedMetric{
 	{"mesh.queue_cycles", +1},          // interconnect contention
 	{"wbuffer.full_stall_cycles", +1},  // write-stall pressure
 	{"wbuffer.flush_stall_cycles", +1}, // buffer-flush pressure
+}
+
+// sameModeMetrics are gated only between records of the same kernel shard
+// count. The switch/fast-path split legitimately shifts when the sharded
+// kernel dispatches traps inside streams and local windows (their sum,
+// sim.yields, is watched unconditionally above), and the scope
+// classification counters exist only on sharded records.
+var sameModeMetrics = []watchedMetric{
+	{"sim.switches", +1},                    // fast-path degradation: more channel handoffs
+	{"sim.fastpath_hits", -1},               // fast-path degradation: fewer inline returns
+	{"machine.scope.local_dispatches", -1},  // scope-classification coverage: fewer shard-local traps
+	{"machine.scope.global_dispatches", +1}, // scope-classification coverage: more serialized traps
 }
 
 // Delta is one compared quantity.
@@ -228,7 +239,11 @@ func Diff(old, new *Record, opts Options) (deltas []Delta, regressed bool) {
 	}
 
 	if old.Metrics != nil && new.Metrics != nil {
-		for _, w := range watchedMetrics {
+		watched := watchedMetrics
+		if old.KernelShards == new.KernelShards {
+			watched = append(append([]watchedMetric(nil), watchedMetrics...), sameModeMetrics...)
+		}
+		for _, w := range watched {
 			o := float64(old.Metrics.Counter(w.name))
 			n := float64(new.Metrics.Counter(w.name))
 			if o == 0 && n == 0 {
@@ -336,6 +351,42 @@ func Format(deltas []Delta, opts Options) string {
 		fmt.Fprintf(&b, "%s %-32s %12s %12s %8.1f%%%s\n",
 			mark, d.Name, num(d.Old), num(d.New), d.Pct, note)
 	}
+	return b.String()
+}
+
+// scopeTraps are the machine trap kinds the scope-classification metrics
+// break down by (machine.scope.<trap>_local / _global).
+var scopeTraps = []string{"load", "store", "swap", "compute"}
+
+// ScopeReport renders a record's machine.scope.* counters — the per-trap
+// local/global dispatch split of DESIGN §15 plus the total local-dispatch
+// fraction — as the table CI publishes as the sharded job's
+// local-dispatch-fraction artifact. It returns "" when the record carries
+// no scope counters (serial records never publish them).
+func ScopeReport(r *Record) string {
+	if r.Metrics == nil {
+		return ""
+	}
+	c := r.Metrics.Counters
+	local := c["machine.scope.local_dispatches"]
+	global := c["machine.scope.global_dispatches"]
+	if local+global == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine-trap scope classification (kernel_shards=%d)\n", r.KernelShards)
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "trap", "local", "global", "local%")
+	row := func(name string, l, g uint64) {
+		pct := "-"
+		if l+g > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(l)/float64(l+g))
+		}
+		fmt.Fprintf(&b, "%-10s %12d %12d %8s\n", name, l, g, pct)
+	}
+	for _, trap := range scopeTraps {
+		row(trap, c["machine.scope."+trap+"_local"], c["machine.scope."+trap+"_global"])
+	}
+	row("total", local, global)
 	return b.String()
 }
 

@@ -104,6 +104,39 @@ type MemSystem interface {
 	Counters() *Counters
 }
 
+// AccessClass identifies the kind of machine trap a scope probe is asked
+// to classify (see ScopedSystem).
+type AccessClass uint8
+
+const (
+	AccessLoad AccessClass = iota // LoadU64: a shared read
+	AccessStore                   // StoreU64: a shared write
+	AccessSwap                    // AtomicSwapU64: a read + write at one point
+)
+
+// ScopedSystem is implemented by memory systems that can classify an access
+// before it is issued (the PDES phase-2 seam, DESIGN §15). ScopeOf reports
+// whether the size-byte access processor p would issue at addr at time now
+// is provably node-private: executing it would touch only state owned by
+// p's node (its cache, its store/merge buffer, its per-processor counters)
+// with no directory transition, no network traffic, and no effect on any
+// other processor's timing or on any word another node could concurrently
+// access. The machine layer then dispatches the trap through
+// sim.Proc.SyncScoped, letting provably-private accesses run inside local
+// shard windows while everything else serializes at window boundaries.
+//
+// Contract: ScopeOf must be pure — no counter increments, no recency
+// updates, no allocation in paged tables — because the kernel evaluates it
+// exactly once per trap, at the serial-prefix point that dispatches the
+// operation, possibly while other shards are concurrently draining
+// local-only windows of their own. It must be conservative: when in doubt,
+// return false (global). Returning true for an access that turns out to
+// mutate shared state is a soundness bug; the kernel's watermark/curScope
+// tripwires turn such overclaims into deterministic panics.
+type ScopedSystem interface {
+	ScopeOf(p int, addr Addr, size int, now Time, class AccessClass) (local bool)
+}
+
 // TokenSystem is implemented by memory systems that decouple data flow
 // from synchronization (the paper's §6 architectural implication): a
 // release does not stall the producer; the synchronization primitive
@@ -146,16 +179,33 @@ func NewCounters(p int) *Counters {
 	return &Counters{PerProcReads: make([]uint64, p), PerProcWrites: make([]uint64, p)}
 }
 
-// CountRead records a read issued by processor p.
+// CountRead records a read issued by processor p. Only the per-processor
+// cell is written — node-private cache hits are counted from inside local
+// shard windows, where a shared Reads++ would race across shards. The
+// aggregate Reads/Writes totals are derived by Fold at harvest time.
 func (c *Counters) CountRead(p int) {
-	c.Reads++
 	c.PerProcReads[p]++
 }
 
-// CountWrite records a write issued by processor p.
+// CountWrite records a write issued by processor p (per-processor cell
+// only; see CountRead).
 func (c *Counters) CountWrite(p int) {
-	c.Writes++
 	c.PerProcWrites[p]++
+}
+
+// Fold derives the aggregate Reads/Writes totals from the per-processor
+// counts. Idempotent; every protocol's Counters() accessor calls it so
+// consumers always see consistent totals.
+func (c *Counters) Fold() *Counters {
+	var r, w uint64
+	for _, n := range c.PerProcReads {
+		r += n
+	}
+	for _, n := range c.PerProcWrites {
+		w += n
+	}
+	c.Reads, c.Writes = r, w
+	return c
 }
 
 func (c *Counters) String() string {

@@ -124,8 +124,18 @@ func TestCountersPerProc(t *testing.T) {
 	c.CountRead(1)
 	c.CountRead(1)
 	c.CountWrite(3)
+	// CountRead/CountWrite touch only the per-processor cells (they may run
+	// inside local shard windows); the aggregates are derived by Fold.
+	if c.Reads != 0 || c.Writes != 0 {
+		t.Fatalf("aggregates written eagerly: reads=%d writes=%d", c.Reads, c.Writes)
+	}
+	c.Fold()
 	if c.Reads != 2 || c.Writes != 1 {
 		t.Fatalf("reads=%d writes=%d", c.Reads, c.Writes)
+	}
+	c.Fold() // idempotent
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("Fold not idempotent: reads=%d writes=%d", c.Reads, c.Writes)
 	}
 	if c.PerProcReads[1] != 2 || c.PerProcWrites[3] != 1 {
 		t.Fatalf("per-proc counters wrong: %+v", c)

@@ -97,7 +97,7 @@ func newBase(p memsys.Params, net *mesh.Net) base {
 	return b
 }
 
-func (b *base) Counters() *memsys.Counters { return b.ctr }
+func (b *base) Counters() *memsys.Counters { return b.ctr.Fold() }
 
 // instrumentStoreBuffers wires every node's store buffer to one shared set
 // of metric handles (per-node attribution is not needed by the gate).

@@ -71,7 +71,7 @@ func (z *zmc) maxLatFrom(src int) Time {
 }
 
 func (z *zmc) Name() memsys.Kind          { return memsys.KindZMachine }
-func (z *zmc) Counters() *memsys.Counters { return z.ctr }
+func (z *zmc) Counters() *memsys.Counters { return z.ctr.Fold() }
 
 // PublishMetrics harvests the z-machine's word-grain directory occupancy
 // (implements metrics.Publisher).
@@ -160,6 +160,44 @@ func (z *zmc) Read(p int, addr memsys.Addr, size int, now Time) Time {
 func (z *zmc) Release(int, Time) Time { return 0 }
 func (z *zmc) Acquire(int, Time) Time { return 0 }
 
+// ScopeOf implements memsys.ScopedSystem (DESIGN §15). Writes always fan
+// availability out through the word-grain directory, so only loads can be
+// node-private — and only the ones that would stall zero cycles at now:
+// that path reads nothing but directory availability and writer records
+// (both written exclusively by global-scope stores) and counts only the
+// per-processor read cell. A stalling read increments the shared
+// ReadMisses counter, so it stays global. The stall computation below
+// mirrors Read exactly, through pure lookups only (dir.Lookup, wr.Peek,
+// the uncontended-latency formula).
+func (z *zmc) ScopeOf(p int, addr memsys.Addr, size int, now Time, class memsys.AccessClass) bool {
+	if class != memsys.AccessLoad {
+		return false
+	}
+	n := z.p.Node(p)
+	local := true
+	z.lines(addr, size, func(line memsys.Addr) {
+		e, ok := z.dir.Lookup(line * memsys.Addr(z.p.ZLineSize))
+		if !ok {
+			return
+		}
+		w := z.wr.Peek(uint64(line))
+		wok := w != nil && w.written
+		if wok && int(w.writer) == n {
+			return
+		}
+		avail := e.AvailableAt
+		if z.perfect && wok {
+			if t := w.writeAt + z.net.UncontendedLatency(int(w.writer), n, z.p.ZLineSize); t > avail {
+				avail = t
+			}
+		}
+		if avail > now {
+			local = false
+		}
+	})
+	return local
+}
+
 // pram is the PRAM reference: unit-cost memory with no communication cost at
 // all. The paper's §5 headline result is that the z-machine's performance
 // matches the PRAM's on all four applications.
@@ -170,7 +208,7 @@ type pram struct {
 func newPRAM(p memsys.Params) *pram { return &pram{ctr: memsys.NewCounters(p.Procs)} }
 
 func (m *pram) Name() memsys.Kind          { return memsys.KindPRAM }
-func (m *pram) Counters() *memsys.Counters { return m.ctr }
+func (m *pram) Counters() *memsys.Counters { return m.ctr.Fold() }
 
 func (m *pram) Read(p int, _ memsys.Addr, _ int, _ Time) Time {
 	m.ctr.CountRead(p)
@@ -184,3 +222,11 @@ func (m *pram) Write(p int, _ memsys.Addr, _ int, _ Time) Time {
 
 func (m *pram) Release(int, Time) Time { return 0 }
 func (m *pram) Acquire(int, Time) Time { return 0 }
+
+// ScopeOf implements memsys.ScopedSystem. PRAM loads cost nothing and touch
+// only the per-processor read cell, so every load is node-private. Stores
+// stay global: any processor on any shard may load any word at zero cost,
+// so the machine layer's value write must serialize at a window boundary.
+func (m *pram) ScopeOf(p int, addr memsys.Addr, size int, now Time, class memsys.AccessClass) bool {
+	return class == memsys.AccessLoad
+}

@@ -5,49 +5,84 @@
 // The processor set is partitioned across S shards (the machine layer
 // assigns processors by home node, so a shard is a contiguous block of mesh
 // nodes). Each shard owns a private run queue. Execution alternates between
-// two phases:
+// a serial phase and concurrent window phases:
 //
 //   - Serial phase (the window boundary): the coordinator pops the single
 //     globally minimal (clock, id) processor — regardless of its pending
 //     operation's scope — and runs it alone, exactly like the serial
-//     engine. Every operation that can touch shared simulation state — all
-//     machine/Env traps, and every Unblock — happens here, so the sequence
-//     of global operations is bit-identical to the serial engine's
-//     dispatch order. With zero lookahead no window ever opens and the
-//     sharded engine executes exactly the serial schedule.
+//     engine. With zero lookahead no window ever opens and the sharded
+//     engine executes exactly the serial schedule.
 //
-//   - Local window: let B be the minimal (clock, id) head across ALL
-//     shards, local- or global-scope. Every shard whose head is a
-//     local-scope operation strictly below the window horizon runs
-//     concurrently on its own goroutine, dispatching its processors in
-//     per-shard (clock, id) order until its head reaches the horizon,
-//     turns global, or the shard runs dry. The horizon is B + lookahead
-//     (the minimum cross-shard mesh latency, see Engine.SetLookahead and
-//     mesh.MinCrossShardLatency), exclusive: B lower-bounds the clock of
-//     the next global operation ANY shard can issue — a local head bounds
-//     where its shard can next go global just as a global head does, since
-//     per-shard dispatch clocks are nondecreasing — and no cross-shard
-//     effect of a global operation at clock >= B can land before
-//     B + lookahead, because cross-shard interactions travel the mesh and
-//     Unblock is only legal from global scope. The bound must be exclusive
-//     even at a clock tie: a cross-shard wake-up can arrive at exactly
-//     B + lookahead with an arbitrary processor id.
+//   - Window phase: let B be the minimal (clock, id) head across ALL
+//     shards. Two kinds of window run concurrently, one goroutine each:
 //
-// Local-scope operations (SyncLocal) promise to touch only state private to
-// the calling processor or its shard, so their host-time interleaving
-// across shards cannot change any simulated outcome; within a shard they
-// are dispatched in exactly the (clock, id) order the serial engine would
-// use. The merged schedule is therefore equivalent to the serial one: the
-// global subsequence is identical, and the local operations commute with
-// everything that separates their dispatch from its serial position. The
-// lookahead contract — no cross-shard effect lands less than lookahead
-// after the clock of the operation issuing it — is enforced at Unblock
-// time against a per-shard watermark of window-dispatched operations, so a
-// violation is a deterministic panic, never a silent schedule divergence.
-// The machine layer marks every protocol operation global-scope, which is
-// why sharded machine runs are byte-identical to serial runs — including
-// the sim.switches / sim.fastpath_hits / sim.blocks counters and the
-// run-queue depth histogram, which benchdiff gates at 0.0% drift.
+//     The minimal shard runs a STREAM when its head is streamable (a
+//     deferred-probe trap or a declared local-scope operation): it
+//     dispatches its processors in per-shard (clock, id) order while they
+//     stay streamable and order strictly below the cap — the minimal head
+//     of the OTHER shards at survey time. Everything the stream dispatches
+//     is the literal prefix of the serial schedule (nothing else can order
+//     below the cap), so streamed operations may touch global simulation
+//     state: a machine memory trap's protocol effects — directory
+//     transitions, remote-cache invalidations, word writes — apply against
+//     exactly the state a serial run would show, and its scope probe
+//     classifies against that same state. The only operations a stream
+//     must not dispatch are plain global-scope ones (psync traps), because
+//     they can Unblock — wake-ups mutate other shards' run queues and are
+//     only legal from the serialized boundary. Declared local-scope
+//     operations additionally stream up to the horizon B + lookahead even
+//     past the cap (the same license local-only windows have).
+//
+//     Every OTHER shard whose head is a declared local-scope operation
+//     strictly below the horizon B + lookahead runs a LOCAL-ONLY window:
+//     per-shard (clock, id) order, admitting only local-scope operations
+//     (SyncLocal — machine Compute slot reservations, engine-level
+//     shard-private steps), which by contract touch only shard-private
+//     state and therefore commute with the stream and with each other.
+//     Deferred-probe heads are never dispatched here and their probes are
+//     never evaluated here: the probe reads protocol state the stream may
+//     be mutating concurrently, and the trap's own effects are
+//     instantaneous in simulated time, so dispatching it out of
+//     serial-prefix order could read or clobber state a lower-keyed
+//     streamed operation has not yet produced. They park until the
+//     boundary (or until their own shard holds the stream).
+//
+// The horizon B + lookahead (minimum cross-shard mesh latency, see
+// Engine.SetLookahead and mesh.MinCrossShardLatency) is exclusive: B
+// lower-bounds the clock of the next global operation ANY shard can issue —
+// a local head bounds where its shard can next go global just as a global
+// head does, since per-shard dispatch clocks are nondecreasing — and no
+// cross-shard effect of a global operation at clock >= B can land before
+// B + lookahead, because cross-shard interactions travel the mesh and
+// Unblock is only legal from global scope. The bound must be exclusive even
+// at a clock tie: a cross-shard wake-up can arrive at exactly B + lookahead
+// with an arbitrary processor id. The stream's cap needs no lookahead at
+// all — its soundness is positional (serial prefix), not temporal — which
+// is why a stream may also carry local-scope operations past the horizon up
+// to the cap.
+//
+// The merged schedule is equivalent to the serial one: the streamed and
+// boundary operations ARE the serial sequence of global effects, and
+// local-scope operations commute with everything that separates their
+// dispatch from its serial position. The lookahead contract — no
+// cross-shard effect lands less than lookahead after the clock of the
+// operation issuing it — is enforced at Unblock time against a per-shard
+// watermark of window-dispatched operations, so a violation is a
+// deterministic panic, never a silent schedule divergence.
+//
+// The machine layer classifies each trap at dispatch time through
+// SyncScoped: a per-protocol probe (memsys.ScopeOf, DESIGN §15) reports
+// whether the pending access is provably node-private — a local cache hit
+// with no directory transition, a store to an exclusively held line. Probes
+// are evaluated only at serial-prefix dispatch points (the boundary, the
+// serial-phase fast path, the stream), so the classification is a pure
+// function of the serial schedule, identical at every shard count, and
+// sharded machine runs stay byte-identical to serial runs: results, traces,
+// per-protocol counters, and sim.yields/sim.blocks all match to the count
+// (benchdiff gates them at 0.0% drift), while the switch/fast-path split
+// and the run-queue depth histogram legitimately shift with the shard
+// count (benchdiff watches those only between records of the same shard
+// count).
 package sim
 
 import (
@@ -60,9 +95,10 @@ import (
 
 // scope classifies a processor's pending operation: global-scope operations
 // (Sync, and conservatively everything whose scope is unknown — initial
-// dispatch, wake-ups) may touch shared simulation state and are serialized
-// at window boundaries; local-scope operations (SyncLocal) touch only
-// processor/shard-private state and may run concurrently inside a window.
+// dispatch, wake-ups) may touch shared simulation state and wake other
+// processors, so outside a stream they serialize at window boundaries;
+// local-scope operations (SyncLocal) touch only processor/shard-private
+// state and may run concurrently inside any window.
 type scope uint8
 
 const (
@@ -77,6 +113,15 @@ type phaseKind uint8
 const (
 	phaseSerial phaseKind = iota
 	phaseLocal
+)
+
+// winMode is a shard's role in the current window phase.
+type winMode uint8
+
+const (
+	winNone   winMode = iota
+	winLocal          // local-scope operations only, bounded by the horizon
+	winStream         // serial-schedule prefix, bounded by the cap
 )
 
 // shard is one partition of the processor set with its own run queue. Its
@@ -96,15 +141,26 @@ type shard struct {
 	// Window-phase accounting (the serial phase accounts on the Engine).
 	switches     uint64 // window dispatches
 	blocks       uint64 // Block calls observed inside windows
-	fastPathHits uint64 // SyncLocal inline returns inside windows
+	fastPathHits uint64 // inline returns inside windows
 	dispatches   uint64 // total dispatches attributed to this shard (both phases)
 
-	// Per-window completion results, harvested by the coordinator at the
-	// window barrier.
+	// Window state for the current phase, set by the coordinator's survey
+	// and cleared at the barrier. hz bounds local-scope admissions in both
+	// modes; capped/capClock/capID bound a stream: the exclusive (clock, id)
+	// cap below which this shard's operations are the serial schedule's own
+	// prefix (the minimal head of the other shards at survey time; an
+	// uncapped stream — no other shard had a head — admits everything
+	// streamable). windowDone/windowFinish are the completion results
+	// harvested at the barrier.
+	win          winMode
+	hz           horizon
+	capped       bool
+	capClock     Time
+	capID        int
 	windowDone   int
 	windowFinish Time
 
-	// Watermark of the last operation this shard dispatched inside a local
+	// Watermark of the last operation this shard dispatched inside a
 	// window, as its (clock, id) at dispatch. A wake-up ordering below it
 	// would have to rewrite history the window already executed, so Unblock
 	// treats that as a lookahead-contract violation and panics. wmID == -1
@@ -113,11 +169,11 @@ type shard struct {
 	wmID    int
 }
 
-// horizon is the exclusive virtual-time upper bound of a local window:
-// B + lookahead, where B is the minimal (clock, id) head across all shards.
-// The bound is exclusive regardless of processor id — a cross-shard effect
-// can land at exactly B + lookahead with an arbitrary id, so a clock tie
-// must wait for the next window.
+// horizon is the exclusive virtual-time upper bound on local-scope window
+// admissions: B + lookahead, where B is the minimal (clock, id) head across
+// all shards. The bound is exclusive regardless of processor id — a
+// cross-shard effect can land at exactly B + lookahead with an arbitrary
+// id, so a clock tie must wait for the next window.
 type horizon struct {
 	clock Time
 }
@@ -126,13 +182,42 @@ type horizon struct {
 // window.
 func (h horizon) admits(p *Proc) bool { return p.clock < h.clock }
 
+// beforeCap reports whether p's (clock, id) orders strictly below this
+// shard's stream cap. An uncapped stream admits everything: with no pending
+// head anywhere else, this shard's order IS the serial order.
+func (s *shard) beforeCap(p *Proc) bool {
+	return !s.capped || p.clock < s.capClock || (p.clock == s.capClock && p.id < s.capID)
+}
+
+// admitsLocal reports whether a declared local-scope operation of p — this
+// shard's minimal pending processor — may be dispatched inside the shard's
+// current window. Local-only windows admit up to the horizon; a stream
+// additionally admits up to its cap (serial-prefix position needs no
+// lookahead).
+func (s *shard) admitsLocal(p *Proc) bool {
+	switch s.win {
+	case winLocal:
+		return s.hz.admits(p)
+	case winStream:
+		return s.hz.admits(p) || s.beforeCap(p)
+	}
+	return false
+}
+
+// streamable reports whether p's pending operation may ride a stream: a
+// deferred-probe trap (a machine memory access — it never wakes anyone, and
+// its global effects are exactly the serial ones when dispatched in
+// serial-prefix order) or a declared local-scope operation. Plain
+// global-scope operations (psync traps, wake-up sources) end a stream at
+// the boundary.
+func streamable(p *Proc) bool { return p.probe != nil || p.pscope == scopeLocal }
+
 // NewEngineSharded creates an engine with n processors partitioned across
 // shards run queues; shardOf maps a processor id to its shard in
 // [0, shards). The schedule of global-scope operations is bit-identical to
-// NewEngine's; local-scope operations (SyncLocal) additionally run
-// concurrently across shards inside conservative windows. One shard is the
-// degenerate case: the full window protocol runs, with every processor in
-// shard 0.
+// NewEngine's; local-scope operations (SyncLocal) and streamed prefixes
+// additionally run inside conservative windows. One shard is the degenerate
+// case: the full window protocol runs, with every processor in shard 0.
 func NewEngineSharded(n, shards int, shardOf func(proc int) int) *Engine {
 	if shards <= 0 {
 		panic("sim: sharded engine needs at least one shard")
@@ -171,6 +256,14 @@ func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
 // Lookahead returns the configured cross-shard lookahead.
 func (e *Engine) Lookahead() Time { return e.lookahead }
 
+// SetQuiesce installs a coordinator hook called at every serial-phase
+// iteration with the (clock, id) key of the minimal pending operation
+// across all shards. No processor runs during the call and every future
+// dispatch orders at or above the key, so the hook may deterministically
+// merge and flush anything staged strictly below it. The machine layer uses
+// it to drain per-shard observation buffers in serial-schedule order.
+func (e *Engine) SetQuiesce(fn func(clock Time, id int)) { e.quiesce = fn }
+
 // ShardOf returns the shard index of processor i (0 for a serial engine).
 func (e *Engine) ShardOf(i int) int {
 	if p := e.procs[i]; p.shd != nil {
@@ -204,15 +297,17 @@ func (p *Proc) syncSharded(sc scope) {
 		panic(abortRun{})
 	}
 	p.pscope = sc
+	p.probe = nil
 	s := p.shd
 	if e.phase == phaseLocal {
 		// Inside a window only this shard's loop can dispatch p; the inline
-		// return is legal while p stays the shard minimum and inside the
-		// horizon. Global-scope operations always yield: they must wait for
-		// the window boundary.
-		if sc == scopeLocal && (len(s.runq) == 0 || procLess(p, s.runq[0])) && e.horizon.admits(p) {
+		// return is legal while p stays the shard minimum and the window
+		// admits the operation. Global-scope operations always yield: they
+		// must wait for the window boundary.
+		if sc == scopeLocal && (len(s.runq) == 0 || procLess(p, s.runq[0])) && s.admitsLocal(p) {
 			s.fastPathHits++
 			s.wmClock, s.wmID = p.clock, p.id
+			p.dispatchAt = p.clock
 			return
 		}
 	} else if e.precedesAllHeads(p) {
@@ -223,10 +318,83 @@ func (p *Proc) syncSharded(sc scope) {
 		// its scope keeps governing Unblock legality.
 		e.fastPathHits++
 		e.curScope = sc
+		p.dispatchAt = p.clock
 		return
 	}
 	s.yield <- yieldMsg{p, yieldRunnable}
 	<-p.resume
+}
+
+// SyncScoped is Sync with the scope decision deferred to dispatch time: the
+// probe must be a cheap, pure function of simulation state that reports
+// whether the pending operation is provably node-private (it would touch
+// only state owned by this processor's node and perform no Unblock). The
+// classification only feeds accounting and the Unblock tripwires — it never
+// licenses out-of-order execution: a deferred-probe trap is dispatched
+// exclusively at serial-prefix points (the window boundary, the
+// serial-phase fast path, or a stream strictly below its cap), so both the
+// probe and the operation's own effects see exactly the state a serial run
+// would show them. That makes the per-trap local/global split a pure
+// function of the serial schedule, independent of the shard count. The
+// return value is the final classification (true = classified node-private
+// at dispatch); on a serial engine SyncScoped is exactly Sync and returns
+// false.
+//
+// Probe contract, enforced by the PR 7 tripwires: a probe that overclaims —
+// returns true for an operation that wakes a processor — trips the
+// curScope/window panics in Unblock deterministically rather than
+// corrupting the schedule. The probe itself must not mutate any simulation
+// state; it runs only at serial-prefix dispatch points, never concurrently
+// with another shard's deferred-probe traps, but it may run concurrently
+// with other shards' local-scope operations, so it must not read state
+// local-scope operations write.
+func (p *Proc) SyncScoped(probe func() bool) bool {
+	e := p.eng
+	if e.shards == nil {
+		p.Sync()
+		return false
+	}
+	if e.aborting {
+		panic(abortRun{})
+	}
+	p.probe = probe
+	s := p.shd
+	if e.phase == phaseLocal {
+		// Only a stream may dispatch a deferred-probe trap mid-window, and
+		// only strictly below its cap, where the streamed prefix is the
+		// serial schedule itself. Local-only windows never admit probe
+		// traps and never evaluate probes — the stream may be mutating the
+		// protocol state a probe reads.
+		if s.win == winStream && (len(s.runq) == 0 || procLess(p, s.runq[0])) && s.beforeCap(p) {
+			if probe() {
+				p.pscope = scopeLocal
+			} else {
+				p.pscope = scopeGlobal
+			}
+			s.fastPathHits++
+			s.wmClock, s.wmID = p.clock, p.id
+			p.dispatchAt = p.clock
+			return p.pscope == scopeLocal
+		}
+	} else if e.precedesAllHeads(p) {
+		// Serial-phase continuation: p runs alone, so the probe sees exactly
+		// the state the serial engine would dispatch against. The resulting
+		// scope governs Unblock legality for the inline continuation.
+		sc := scopeGlobal
+		if probe() {
+			sc = scopeLocal
+		}
+		p.pscope = sc
+		e.fastPathHits++
+		e.curScope = sc
+		p.dispatchAt = p.clock
+		return sc == scopeLocal
+	}
+	s.yield <- yieldMsg{p, yieldRunnable}
+	<-p.resume
+	// The dispatching side (stream loop or boundary) evaluated the probe and
+	// recorded the final classification before resuming us.
+	return p.pscope == scopeLocal
 }
 
 // precedesAllHeads reports whether p orders before every pending processor
@@ -252,15 +420,19 @@ func (e *Engine) runnable() int {
 
 // runSharded is Run for a sharded engine: alternate serial window
 // boundaries (one global-scope operation at a time, in exactly the serial
-// engine's (clock, id) order) with concurrent local windows.
+// engine's (clock, id) order) with window phases — a serial-prefix stream
+// on the minimal shard and local-only windows on the rest.
 func (e *Engine) runSharded(body func(p *Proc)) Time {
 	e.aborting = false
 	e.phase = phaseSerial
 	e.curShard = nil
 	e.curScope = scopeGlobal
+	e.windows, e.streams, e.xUnblocks = 0, 0, 0
 	for _, s := range e.shards {
 		s.runq = s.runq[:0]
 		s.switches, s.blocks, s.fastPathHits, s.dispatches = 0, 0, 0, 0
+		s.win, s.hz = winNone, horizon{}
+		s.capped, s.capClock, s.capID = false, 0, 0
 		s.windowDone, s.windowFinish = 0, 0
 		s.wmClock, s.wmID = 0, -1
 	}
@@ -269,6 +441,8 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 		p.blocked = false
 		p.done = false
 		p.pscope = scopeGlobal // a body's first operation has unknown scope
+		p.probe = nil
+		p.dispatchAt = 0
 	}
 	for _, p := range e.procs {
 		p := p
@@ -300,9 +474,9 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 	var finish Time
 	for remaining > 0 {
 		// Survey the shard heads: the minimal (clock, id) head across ALL
-		// shards bounds the next window. A local-scope head bounds it just
-		// as a global one does — its shard's clocks are nondecreasing, so
-		// the head's clock lower-bounds where that shard can next issue a
+		// shards bounds the next window phase. A local-scope head bounds it
+		// just as a global one does — its shard's clocks are nondecreasing,
+		// so the head's clock lower-bounds where that shard can next issue a
 		// global operation (the only way to affect another shard).
 		var bound *Proc
 		for _, s := range e.shards {
@@ -317,10 +491,16 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 			panic("sim: deadlock\n" + dump)
 		}
 
-		// Local-scope heads strictly below bound + lookahead may run
-		// concurrently. With zero lookahead nothing lies strictly below the
-		// minimal head, so no window ever opens and execution is exactly
-		// serial.
+		// Quiescent point: everything is parked and every future dispatch
+		// orders at or above bound's (clock, id), so staged observation
+		// events strictly below it are final and may be merged out.
+		if e.quiesce != nil {
+			e.quiesce(bound.clock, bound.id)
+		}
+
+		// With zero lookahead nothing lies strictly below the minimal head
+		// and no stream opens either, so no window phase ever runs and
+		// execution is exactly serial.
 		if e.lookahead > 0 {
 			hc := bound.clock + e.lookahead
 			if hc < bound.clock { // saturate on overflow
@@ -328,28 +508,76 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 			}
 			hz := horizon{clock: hc}
 			active := 0
+			// The minimal shard streams the serial schedule's own prefix
+			// when its head is streamable: everything it dispatches below
+			// the cap (the other shards' minimal head) precedes every other
+			// pending operation, so deferred-probe traps run against
+			// exactly the serial state, global effects included. No probe
+			// is evaluated here — the stream's own loop evaluates each one
+			// at its dispatch.
+			bs := bound.shd
+			if streamable(bound) {
+				bs.win = winStream
+				bs.hz = hz
+				bs.capped, bs.capClock, bs.capID = false, 0, 0
+				for _, s := range e.shards {
+					if s == bs || len(s.runq) == 0 {
+						continue
+					}
+					h := s.runq[0]
+					if !bs.capped || h.clock < bs.capClock || (h.clock == bs.capClock && h.id < bs.capID) {
+						bs.capped, bs.capClock, bs.capID = true, h.clock, h.id
+					}
+				}
+				e.streams++
+				active++
+			}
+			// Every other shard whose head is a declared local-scope
+			// operation strictly below the horizon runs a local-only
+			// window. Deferred-probe heads are not admitted and their
+			// probes are not evaluated: both the probe's reads and the
+			// trap's instantaneous global effects belong to the serial
+			// prefix, which only the stream replays.
 			for _, s := range e.shards {
-				if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
+				if s.win != winNone || len(s.runq) == 0 {
+					continue
+				}
+				h := s.runq[0]
+				if h.probe == nil && h.pscope == scopeLocal && hz.admits(h) {
+					s.win = winLocal
+					s.hz = hz
 					active++
 				}
 			}
 			if active > 0 {
-				// Local window: every shard with admitted local work
-				// advances concurrently up to the horizon.
 				e.phase = phaseLocal
-				e.horizon = hz
 				e.windows++
-				for _, s := range e.shards {
-					if len(s.runq) > 0 && s.runq[0].pscope == scopeLocal && hz.admits(s.runq[0]) {
-						go s.runWindow()
+				if active == 1 && bs.win == winStream {
+					// Solo stream: nothing runs concurrently with it, so
+					// skip the goroutine spawn and barrier and drive it
+					// from the coordinator. This is the common shape for
+					// machine runs without hardware multithreading, where
+					// the only window work is the stream itself.
+					bs.windowLoop()
+				} else {
+					launched := 0
+					for _, s := range e.shards {
+						if s.win != winNone {
+							launched++
+							go s.runWindow()
+						}
 					}
-				}
-				for i := 0; i < active; i++ {
-					<-e.phaseDone
+					for i := 0; i < launched; i++ {
+						<-e.phaseDone
+					}
 				}
 				e.phase = phaseSerial
 				// Harvest in shard order so the aggregation is deterministic.
 				for _, s := range e.shards {
+					if s.win == winNone {
+						continue
+					}
+					s.win = winNone
 					remaining -= s.windowDone
 					s.windowDone = 0
 					if s.windowFinish > finish {
@@ -361,15 +589,24 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 		}
 
 		// Window boundary: run the single minimal operation alone, exactly
-		// as the serial engine would. Its scope governs whether Unblock is
-		// legal while it runs.
+		// as the serial engine would. Its scope — with any deferred probe
+		// evaluated now, against exactly the state the serial engine would
+		// dispatch it on — governs whether Unblock is legal while it runs.
 		s := bound.shd
 		p, _ := s.runq.pop()
 		e.switches++
 		s.dispatches++
 		e.mRunqDepth.Observe(uint64(e.runnable()))
+		if p.probe != nil {
+			if p.probe() {
+				p.pscope = scopeLocal
+			} else {
+				p.pscope = scopeGlobal
+			}
+		}
 		e.curShard = s
 		e.curScope = p.pscope
+		p.dispatchAt = p.clock
 		p.resume <- struct{}{}
 		m := <-s.yield
 		switch m.kind {
@@ -387,21 +624,44 @@ func (e *Engine) runSharded(body func(p *Proc)) Time {
 	return finish
 }
 
-// runWindow drains this shard's admitted local-scope work for one window,
-// then reports at the barrier. It runs on its own goroutine; its processors
-// run strictly one at a time within the shard, in (clock, id) order.
+// runWindow drains this shard's admitted window work for one phase, then
+// reports at the barrier. It runs on its own goroutine; its processors run
+// strictly one at a time within the shard, in (clock, id) order.
 func (s *shard) runWindow() {
+	s.windowLoop()
+	s.eng.phaseDone <- s
+}
+
+// windowLoop is one shard's window-phase dispatch loop, shared by the
+// barrier path (runWindow) and the coordinator-driven solo stream. A
+// deferred-probe head is dispatched only by a stream strictly below its
+// cap, with the probe evaluated at dispatch; a declared local-scope head is
+// dispatched while the window admits it; anything else — a plain
+// global-scope head, or work beyond the bounds — ends the loop.
+func (s *shard) windowLoop() {
 	e := s.eng
-	hz := e.horizon
-	for {
-		if len(s.runq) == 0 || s.runq[0].pscope != scopeLocal || !hz.admits(s.runq[0]) {
+	for len(s.runq) > 0 {
+		p := s.runq[0]
+		if p.probe != nil {
+			if s.win != winStream || !s.beforeCap(p) {
+				break
+			}
+		} else if p.pscope != scopeLocal || !s.admitsLocal(p) {
 			break
 		}
-		p, _ := s.runq.pop()
+		s.runq.pop()
+		if p.probe != nil {
+			if p.probe() {
+				p.pscope = scopeLocal
+			} else {
+				p.pscope = scopeGlobal
+			}
+		}
 		s.switches++
 		s.dispatches++
 		s.wmClock, s.wmID = p.clock, p.id
 		e.mRunqDepth.Observe(uint64(len(s.runq)))
+		p.dispatchAt = p.clock
 		p.resume <- struct{}{}
 		m := <-s.yield
 		switch m.kind {
@@ -416,7 +676,6 @@ func (s *shard) runWindow() {
 			}
 		}
 	}
-	e.phaseDone <- s
 }
 
 // drainShardedRunq pops every queued processor across all shards during the
@@ -430,12 +689,13 @@ func (e *Engine) drainShardedRunq() (p *Proc, ok bool) {
 	return nil, false
 }
 
-// shardMetrics publishes the sharded-mode counters: window advances,
-// cross-shard wake-up deliveries, per-shard window dispatches, and the
-// dispatch imbalance (max − min dispatches attributed to a shard, both
-// phases counted).
+// shardMetrics publishes the sharded-mode counters: window phases advanced,
+// streams among them, cross-shard wake-up deliveries, per-shard window
+// dispatches, and the dispatch imbalance (max − min dispatches attributed
+// to a shard, both phases counted).
 func (e *Engine) shardMetrics(r *metrics.Registry) {
 	r.Counter("sim.shard.windows").Add(e.windows)
+	r.Counter("sim.shard.streams").Add(e.streams)
 	r.Counter("sim.shard.cross_unblocks").Add(e.xUnblocks)
 	var local, min, max uint64
 	for i, s := range e.shards {
@@ -455,8 +715,8 @@ func (e *Engine) shardMetrics(r *metrics.Registry) {
 // window/lookahead state and each shard's run-queue contents in (clock, id)
 // order with pending-operation scopes.
 func (e *Engine) shardStateDump(b *strings.Builder) {
-	fmt.Fprintf(b, "  shards=%d lookahead=%d windows=%d cross_unblocks=%d\n",
-		len(e.shards), e.lookahead, e.windows, e.xUnblocks)
+	fmt.Fprintf(b, "  shards=%d lookahead=%d windows=%d streams=%d cross_unblocks=%d\n",
+		len(e.shards), e.lookahead, e.windows, e.streams, e.xUnblocks)
 	for _, s := range e.shards {
 		q := append([]*Proc(nil), s.runq...)
 		sort.Slice(q, func(i, j int) bool { return procLess(q[i], q[j]) })
@@ -466,7 +726,10 @@ func (e *Engine) shardStateDump(b *strings.Builder) {
 				b.WriteByte(' ')
 			}
 			sc := "global"
-			if p.pscope == scopeLocal {
+			switch {
+			case p.probe != nil:
+				sc = "probe"
+			case p.pscope == scopeLocal:
 				sc = "local"
 			}
 			fmt.Fprintf(b, "P%d@%d/%s", p.id, p.clock, sc)

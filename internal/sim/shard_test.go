@@ -515,6 +515,180 @@ func TestShardedOneShardIsSerialSchedule(t *testing.T) {
 	}
 }
 
+// TestShardedScopedProbeStreams pins the stream machinery behind SyncScoped:
+// deferred-probe operations are dispatched only on the serial prefix (the
+// minimal shard's stream, or the boundary), so the dispatch order, the
+// finish time, and the per-processor classification tallies are identical
+// at every shard count — and with a positive lookahead at least one stream
+// actually opens. The workload mixes probe traps (alternating local/global
+// classifications) with plain global Syncs that end streams.
+func TestShardedScopedProbeStreams(t *testing.T) {
+	const n = 4
+	type outcome struct {
+		order  []int
+		finish Time
+		local  [n]int
+	}
+	exec := func(e *Engine) outcome {
+		var o outcome
+		o.finish = e.Run(func(p *Proc) {
+			for i := 0; i < 30; i++ {
+				p.Advance(Time(1 + (p.ID()*5+i*3)%4))
+				if i%7 == 0 {
+					p.Sync() // stream terminator: may wake, must hit the boundary
+				} else {
+					i := i
+					if p.SyncScoped(func() bool { return i%3 != 0 }) {
+						o.local[p.ID()]++
+					}
+				}
+				o.order = append(o.order, p.ID())
+			}
+		})
+		return o
+	}
+	// The serial engine fixes the reference schedule (SyncScoped returns
+	// false there, so classifications are compared across shard counts).
+	ref := exec(NewEngine(n))
+	var want outcome
+	for i, shards := range []int{1, 2, 4} {
+		e := NewEngineSharded(n, shards, blockShards(n, shards))
+		e.SetLookahead(3)
+		got := exec(e)
+		if !reflect.DeepEqual(got.order, ref.order) || got.finish != ref.finish {
+			t.Errorf("shards=%d: schedule diverged from serial", shards)
+		}
+		if e.Streams() == 0 {
+			t.Errorf("shards=%d: no stream opened for a probe-heavy workload", shards)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: outcome diverged across shard counts:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardedStreamEndsAtGlobalHead pins the stream's stopping rule: a
+// plain global-scope operation (the only kind that may Unblock) never rides
+// a stream — it waits for the serialized boundary, from which a cross-shard
+// wake-up is legal and lands exactly as in the serial schedule, even when
+// the lookahead would have admitted far more streamed work.
+func TestShardedStreamEndsAtGlobalHead(t *testing.T) {
+	exec := func(e *Engine) (Time, Time) {
+		var woke Time
+		finish := e.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				p.Block("waiting for P0")
+				woke = p.Clock()
+				return
+			}
+			for i := 0; i < 3; i++ {
+				p.Advance(1)
+				p.SyncScoped(func() bool { return true })
+			}
+			p.Advance(1)
+			p.Sync()
+			e.Proc(1).Unblock(p.Clock() + 2)
+		})
+		return woke, finish
+	}
+	wantWoke, wantFinish := exec(NewEngine(2))
+	e := NewEngineSharded(2, 2, evenOdd)
+	e.SetLookahead(100)
+	woke, finish := exec(e)
+	if woke != wantWoke || finish != wantFinish {
+		t.Errorf("stream run woke=%d finish=%d, want serial %d / %d", woke, finish, wantWoke, wantFinish)
+	}
+	if e.Streams() == 0 {
+		t.Error("no stream opened before the global head")
+	}
+}
+
+// TestShardedOverclaimingProbePanics is the adversarial fence for the probe
+// contract (DESIGN §15): a probe that overclaims — reports node-private for
+// an operation that then wakes another processor — must trip a
+// deterministic panic at the Unblock, never corrupt the schedule. Both
+// dispatch paths are exercised: a stream dispatch (positive lookahead)
+// trips the local-window tripwire, and a boundary dispatch (zero lookahead,
+// where the overclaim sets the serial operation's scope to local) trips the
+// local-scope tripwire.
+func TestShardedOverclaimingProbePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		lookahead Time
+		wantMsg   string
+	}{
+		{"stream dispatch", 2, "local shard window"},
+		{"boundary dispatch", 0, "local-scope"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngineSharded(2, 2, evenOdd)
+			e.SetLookahead(tc.lookahead)
+			var msg string
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("no deadlock panic after the aborted wake-up")
+					}
+				}()
+				e.Run(func(p *Proc) {
+					if p.ID() == 1 {
+						p.Block("waiting forever")
+						return
+					}
+					p.Advance(1)
+					p.SyncScoped(func() bool { return true }) // overclaims: the op wakes P1
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								msg = fmt.Sprint(r)
+							}
+						}()
+						e.Proc(1).Unblock(p.Clock())
+					}()
+				})
+			}()
+			if !strings.Contains(msg, tc.wantMsg) {
+				t.Errorf("Unblock panic = %q, want it to mention %q", msg, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestShardedStreamCarriesLocalPastHorizon pins the stream's positional
+// license: declared local-scope operations on the minimal shard stream up
+// to the cap (the other shards' minimal head) even when that lies far past
+// B + lookahead, because serial-prefix position — unlike the horizon —
+// needs no latency argument. With the competing head at 1000 and a
+// lookahead of 2, all ten of P0's local steps fit one window phase.
+func TestShardedStreamCarriesLocalPastHorizon(t *testing.T) {
+	e := NewEngineSharded(2, 2, evenOdd)
+	e.SetLookahead(2)
+	finish := e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			p.Advance(1000)
+			p.Sync()
+			return
+		}
+		for i := 0; i < 10; i++ {
+			p.Advance(10)
+			p.SyncLocal()
+		}
+	})
+	if finish != 1000 {
+		t.Errorf("finish = %d, want 1000", finish)
+	}
+	if e.Windows() != 1 {
+		t.Errorf("window phases = %d, want exactly 1 (one stream covers P0's run)", e.Windows())
+	}
+	if e.Streams() != 1 {
+		t.Errorf("streams = %d, want 1", e.Streams())
+	}
+}
+
 // TestShardedAssignmentValidation pins constructor contract violations.
 func TestShardedAssignmentValidation(t *testing.T) {
 	for _, tc := range []struct {

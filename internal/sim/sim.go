@@ -38,9 +38,21 @@ type Proc struct {
 
 	// Sharded mode (see shard.go). shd is the owning shard (nil on a serial
 	// engine); pscope classifies the pending operation the processor will
-	// perform when next dispatched.
-	shd    *shard
-	pscope scope
+	// perform when next dispatched. probe, when non-nil, defers that
+	// classification to dispatch time (SyncScoped): the engine evaluates it
+	// exactly once, at the serial-prefix point that actually dispatches the
+	// operation (boundary, serial fast path, or stream), so the
+	// classification is a pure function of the serial schedule and a stale
+	// pre-trap snapshot can never leak into the accounting.
+	// dispatchAt is the processor's clock at its most recent dispatch
+	// (fast-path continuations included); together with the processor id it
+	// is the serial-schedule ordering key of everything the processor does
+	// until its next trap, which is what the machine layer keys staged
+	// trace/checker events by.
+	shd        *shard
+	pscope     scope
+	probe      func() bool
+	dispatchAt Time
 }
 
 // ID returns the processor number in [0, NumProcs).
@@ -53,6 +65,12 @@ func (p *Proc) Clock() Time { return p.clock }
 // computation. It does not involve the scheduler: computation is only
 // locally visible.
 func (p *Proc) Advance(c Time) { p.clock += c }
+
+// DispatchedAt returns the processor's clock at its most recent dispatch
+// (sharded mode). Paired with the processor id it totally orders dispatches
+// in the serial schedule, which makes it the merge key for observation
+// events staged during local windows.
+func (p *Proc) DispatchedAt() Time { return p.dispatchAt }
 
 // AdvanceTo moves the clock forward to t if t is in the future.
 func (p *Proc) AdvanceTo(t Time) {
@@ -171,6 +189,7 @@ func (p *Proc) Unblock(t Time) {
 			e.xUnblocks++
 		}
 		p.pscope = scopeGlobal // the woken processor's next operation has unknown scope
+		p.probe = nil
 		p.blocked = false
 		p.blockReason = ""
 		p.AdvanceTo(t)
@@ -212,8 +231,16 @@ type Engine struct {
 	curShard  *shard      // shard of the last serially dispatched processor
 	curScope  scope       // declared scope of the serially running operation
 	phaseDone chan *shard // window-barrier rendezvous
-	windows   uint64      // local windows advanced
+	windows   uint64      // window phases advanced
+	streams   uint64      // window phases whose minimal shard ran a stream
 	xUnblocks uint64      // wake-ups delivered across shards
+	// quiesce, when set, is called by the coordinator at every serial-phase
+	// iteration with the (clock, id) key of the minimal pending operation
+	// across all shards. All processors are parked at that instant and every
+	// future dispatch orders at or above the key, so the callee may flush
+	// anything staged strictly below it (the machine layer merges per-shard
+	// observation buffers here).
+	quiesce func(clock Time, id int)
 
 	// Instrumentation. The hot-path counts are plain fields (the engine is
 	// single-threaded) harvested into a metrics registry by PublishMetrics;
@@ -242,9 +269,13 @@ func (e *Engine) InstrumentMetrics(r *metrics.Registry) {
 // PublishMetrics harvests the engine's plain instrumentation counts into r
 // (implements metrics.Publisher). sim.yields is the total number of
 // globally visible scheduling points: fast-path hits plus full handoffs.
-// On a sharded engine the per-shard window counts are folded in (for
-// all-global-scope workloads — every machine run — they are zero, so the
-// published sim.* totals are bit-identical to the serial engine's) and the
+// Every trap costs exactly one fast-path hit or one switch in any mode, so
+// sim.yields is identical between serial and sharded runs of the same
+// simulation even though the switch/fast-path split shifts once local
+// windows dispatch scope-classified machine traps concurrently (benchdiff
+// therefore gates sim.yields across modes, and sim.switches /
+// sim.fastpath_hits only between runs of the same shard count). On a
+// sharded engine the per-shard window counts are folded in and the
 // sharded-mode counters (sim.shard.*) are published alongside.
 func (e *Engine) PublishMetrics(r *metrics.Registry) {
 	sw, fp := e.Switches(), e.FastPathHits()
@@ -421,8 +452,12 @@ func (e *Engine) FastPathHits() uint64 {
 	return n
 }
 
-// Windows returns the number of local windows advanced (sharded mode).
+// Windows returns the number of window phases advanced (sharded mode).
 func (e *Engine) Windows() uint64 { return e.windows }
+
+// Streams returns how many of those window phases ran a serial-prefix
+// stream on the minimal shard (sharded mode).
+func (e *Engine) Streams() uint64 { return e.streams }
 
 // CrossShardUnblocks returns the number of wake-ups delivered across
 // shards (sharded mode).

@@ -76,6 +76,107 @@ func TestShardedLitmusMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShardedScopeClassification pins the scope-classification seam end to
+// end (DESIGN §15): on a full machine run the per-trap local/global split
+// published as machine.scope.* must be a pure function of the serial
+// schedule — identical at shards 1, 2, and 4 — the trap total must equal
+// the app's dynamic machine-trap count in every mode, and on the
+// hit-dominated paper workload (cholesky × RCinv) at least half of all
+// dynamic trap dispatches must classify shard-local, which is the fraction
+// that actually parallelizes under KernelShards.
+func TestShardedScopeClassification(t *testing.T) {
+	run := func(shards int) (r *Result, snap MetricsSnapshot) {
+		withMetrics(true, func() {
+			params := DefaultParams(8)
+			params.KernelShards = shards
+			app, err := NewBenchmark("cholesky", ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err = RunApp(app, RCInv, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap = GlobalMetrics()
+		})
+		return r, snap
+	}
+
+	rSerial, sSerial := run(0)
+	if got := sSerial.Counters["machine.scope.local_dispatches"]; got != 0 {
+		t.Errorf("serial run published machine.scope.local_dispatches = %d, want none (metric is sharded-only)", got)
+	}
+
+	var local, global uint64
+	for i, shards := range []int{1, 2, 4} {
+		r, s := run(shards)
+		if !reflect.DeepEqual(r, rSerial) {
+			t.Errorf("shards=%d: Result diverged from serial with classification active", shards)
+		}
+		if y0, y := sSerial.Counters["sim.yields"], s.Counters["sim.yields"]; y != y0 {
+			t.Errorf("shards=%d: sim.yields = %d, want the serial run's %d (one per trap in any mode)", shards, y, y0)
+		}
+		l := s.Counters["machine.scope.local_dispatches"]
+		g := s.Counters["machine.scope.global_dispatches"]
+		if i == 0 {
+			local, global = l, g
+		} else if l != local || g != global {
+			t.Errorf("shards=%d: classification local=%d global=%d, want %d/%d from shards=1 (must be a pure function of the serial schedule)",
+				shards, l, g, local, global)
+		}
+		// The per-trap breakdown must tile the totals.
+		var bl, bg uint64
+		for _, trap := range []string{"load", "store", "swap", "compute"} {
+			bl += s.Counters["machine.scope."+trap+"_local"]
+			bg += s.Counters["machine.scope."+trap+"_global"]
+		}
+		if bl != l || bg != g {
+			t.Errorf("shards=%d: per-trap breakdown %d/%d does not tile totals %d/%d", shards, bl, bg, l, g)
+		}
+	}
+	if local+global == 0 {
+		t.Fatal("no machine traps classified at all")
+	}
+	if frac := float64(local) / float64(local+global); frac < 0.5 {
+		t.Errorf("local-dispatch fraction = %.1f%% (%d/%d), want >= 50%% on cholesky x RCinv",
+			100*frac, local, local+global)
+	}
+}
+
+// TestShardedComputeCoreWait pins the Env.Compute reclassification
+// satellite: with hardware multithreading the Compute trap reserves the
+// node's core through coreFree[node], which is shard-confined (a node's
+// threads share its shard), so it dispatches shard-local — and the CoreWait
+// accounting that reservation produces must stay bit-identical to the
+// serial engine's at shards 1, 2, and 4. The multithreaded configuration is
+// what actually exercises the SyncLocal path and the local-only windows it
+// opens.
+func TestShardedComputeCoreWait(t *testing.T) {
+	run := func(shards int) *Result {
+		params := DefaultMTParams(16, 2) // 8 nodes x 2 hardware threads
+		params.KernelShards = shards
+		app, err := NewBenchmark("sor", ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunApp(app, RCInv, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want := run(0)
+	if want.TotalCoreWait() == 0 {
+		t.Fatal("serial multithreaded run shows no core contention; the fence is vacuous")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: multithreaded Result diverged from serial (CoreWait %d vs %d)",
+				shards, got.TotalCoreWait(), want.TotalCoreWait())
+		}
+	}
+}
+
 // TestShardedGridComposition pins the composition of the two concurrency
 // layers (ISSUE 7 satellite): the runner's inter-run worker pool
 // (SetParallelism) and the kernel's intra-run shards are independent knobs,
