@@ -1,9 +1,11 @@
 // Command zlint runs the project-native static-analysis suite that
 // enforces the simulator's determinism and concurrency invariants:
 //
-//	zlint ./...            lint every package in the module
-//	zlint ./internal/sim   lint one package
-//	zlint -list            describe the analyzers and exit
+//	zlint ./...                    lint every package in the module
+//	zlint ./internal/sim           lint one package
+//	zlint -list                    describe the analyzers and exit
+//	zlint -json ./...              findings as a JSON array
+//	zlint -confine-report ./...    print the confinement report (CONFINEMENT.md)
 //
 // Findings are printed one per line as "file:line: analyzer: message" and
 // the exit status is nonzero when any unsuppressed finding remains. A
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +27,23 @@ import (
 	"zsim/internal/lint"
 )
 
+// jsonFinding fixes the field order of -json output: encoding/json emits
+// struct fields in declaration order, so consumers can diff the output
+// textually as well as structurally.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array (stable field order, one object per finding)")
+	confineReport := flag.Bool("confine-report", false, "print the whole-program confinement report instead of findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: zlint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: zlint [-list] [-json] [-confine-report] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,14 +78,40 @@ func main() {
 		fatal(err)
 	}
 
+	if *confineReport {
+		res := lint.ConfineRun(pkgs, lint.DefaultConfineConfig())
+		if !res.Ran {
+			fatal(fmt.Errorf("confine-report needs the whole program loaded; run with ./..."))
+		}
+		fmt.Print(res.Report.Render())
+		return
+	}
+
 	findings := lint.Run(pkgs)
-	for _, f := range findings {
+	for i := range findings {
 		// Report module-relative paths so the output is stable across
 		// checkouts and clickable from the repo root.
-		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			findings[i].Pos.Filename = rel
 		}
-		fmt.Println(f)
+	}
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "zlint: %d finding(s)\n", len(findings))

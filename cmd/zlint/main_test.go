@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONFindingFieldOrder pins the -json contract: encoding/json emits
+// struct fields in declaration order, so the output must read file, line,
+// col, analyzer, message — consumers diff it textually, not just
+// structurally, and a field reorder would break those diffs silently.
+func TestJSONFindingFieldOrder(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	err := enc.Encode([]jsonFinding{{
+		File: "internal/sim/sim.go", Line: 3, Col: 7,
+		Analyzer: "walltime", Message: "m",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "internal/sim/sim.go",
+    "line": 3,
+    "col": 7,
+    "analyzer": "walltime",
+    "message": "m"
+  }
+]
+`
+	if buf.String() != want {
+		t.Errorf("-json encoding:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

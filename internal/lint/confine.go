@@ -1,0 +1,837 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Confine is the whole-program shard-confinement analyzer: the
+// machine-checked form of ROADMAP's protocol-state partition argument. It
+// inventories every mutable struct field reachable from a memory-trap
+// dispatch (the machine.Env trap methods plus the protocols' dispatch-time
+// ScopeOf probes), traces which fields each trap path writes through a
+// call graph built from go/types, infers each field's confinement class
+// from the provenance of those writes, and verifies — never trusts — the
+// //zlint:confine annotations on the field declarations:
+//
+//	//zlint:confine <class> <reason>
+//
+// with class one of
+//
+//	home    every trap-reachable write is indexed by the accessed
+//	        address (line → home partition): the field's state is owned
+//	        by the home node of the line it describes
+//	shard   every trap-reachable write goes through state owned by the
+//	        issuing processor (its Env, its node's per-node containers)
+//	carrier a reusable container type written only through its owning
+//	        instance, and every owning instance is home- or
+//	        shard-confined (e.g. the paged tables, presence bitsets)
+//	global  admitted shared state: any processor's trap path may write
+//	        it (event counters, mesh links, kernel scheduler state)
+//
+// A missing annotation on a trap-mutated field, an annotation the analysis
+// cannot prove (the inferred class differs), and a stale annotation on a
+// field no trap path mutates are all findings, exactly like unused
+// //zlint:ignore suppressions. The full classification is emitted as a
+// deterministic report (cmd/zlint -confine-report) committed as
+// CONFINEMENT.md and diffed in CI, so widening the sharing of any protocol
+// field fails lint until the report is consciously re-blessed.
+var Confine = &Analyzer{
+	Name: "confine",
+	Doc:  "protocol-state confinement: trap-reachable field mutations must match their //zlint:confine class",
+	RunGlobal: func(pkgs []*Package) []Finding {
+		return ConfineRun(pkgs, DefaultConfineConfig()).Findings
+	},
+}
+
+// confineClasses are the legal annotation classes.
+var confineClasses = map[string]bool{
+	"home": true, "shard": true, "carrier": true, "global": true,
+}
+
+// confineDirective is the comment prefix of a confinement annotation.
+const confineDirective = "zlint:confine"
+
+// ConfineRoot names trap entry points: the methods of one type. An empty
+// Methods list means every method of the type.
+type ConfineRoot struct {
+	Dir     string // module-relative package directory
+	Type    string // receiver (Roots) or interface (IfaceRoots) type name
+	Methods []string
+}
+
+// ConfineConfig parameterizes the analysis so the seeded-violation
+// fixtures can run it over miniature universes. DefaultConfineConfig
+// describes the real tree.
+type ConfineConfig struct {
+	// Dirs are the covered packages (module-relative). The analysis runs
+	// only when every one of them is present in the loaded package set;
+	// whole-program conclusions from a partial program would be wrong.
+	Dirs []string
+	// Roots are concrete trap entry points. Their receiver binds to the
+	// issuing processor (self) except for methods listed in
+	// NonSelfReceiverMethods, their memsys.Addr-typed parameters bind to
+	// the address domain (home), and their int parameters named by
+	// SelfParamNames bind to self.
+	Roots []ConfineRoot
+	// IfaceRoots are interfaces whose covered implementations are roots
+	// (the dispatch-time scope probes, which the kernel reaches through a
+	// closure the call graph cannot follow).
+	IfaceRoots []ConfineRoot
+	// NonSelfReceiverMethods are root methods whose receiver is NOT the
+	// issuing processor (Env.Unblock: the waker runs it on the wakee).
+	NonSelfReceiverMethods []string
+	// SelfPointerFields ("dir.Type.Field") are pointer fields whose
+	// pointee belongs to the issuing processor when read from a
+	// self-confined base (Env.p, Env.st, Proc.shd).
+	SelfPointerFields []string
+	// IdentityFields ("dir.Type.Field") hold the owner's own identity
+	// (Proc.id, Env.shard): read from a self base, the value indexes self.
+	IdentityFields []string
+	// SelfParamNames are int parameter names that denote the issuing
+	// processor in root and interface-root signatures (the module-wide
+	// convention is "p").
+	SelfParamNames []string
+	// AddrTypeNames are named types whose values carry the address domain
+	// (memsys.Addr; fixtures declare their own).
+	AddrTypeNames []string
+	// ElemMethods ("Type.Method") are carrier-table accessors returning a
+	// pointer to the element selected by their first argument (Paged.At,
+	// Paged.Peek, Paged.Load): the receiver and result take the element's
+	// partition — the receiver's own domain when the receiver is already
+	// confined, the first argument's domain when the receiver is the
+	// machine-wide singleton.
+	ElemMethods map[string]bool
+}
+
+// DefaultConfineConfig covers the real protocol/state packages.
+func DefaultConfineConfig() *ConfineConfig {
+	return &ConfineConfig{
+		Dirs: []string{
+			"internal/cache", "internal/directory", "internal/machine",
+			"internal/memsys", "internal/mesh", "internal/proto",
+			"internal/shm", "internal/sim", "internal/wbuffer",
+		},
+		Roots: []ConfineRoot{{Dir: "internal/machine", Type: "Env"}},
+		IfaceRoots: []ConfineRoot{
+			{Dir: "internal/memsys", Type: "ScopedSystem"},
+			{Dir: "internal/memsys", Type: "TokenSystem"},
+		},
+		NonSelfReceiverMethods: []string{"Unblock"},
+		SelfPointerFields: []string{
+			"internal/machine.Env.p",
+			"internal/machine.Env.st",
+			"internal/sim.Proc.shd",
+		},
+		IdentityFields: []string{
+			"internal/sim.Proc.id",
+			"internal/machine.Env.shard",
+		},
+		SelfParamNames: []string{"p"},
+		AddrTypeNames:  []string{"Addr"},
+		ElemMethods: map[string]bool{
+			"Paged.At":   true,
+			"Paged.Peek": true,
+			"Paged.Load": true,
+		},
+	}
+}
+
+// dom is the provenance lattice. none (constants, frozen configuration,
+// fresh locals) is the identity of the join; self and home are the two
+// confined partitions; confined is their join (a carrier instance lives in
+// one confined container or another, never in shared state); shared marks
+// the machine-wide singleton objects, whose elements a confined index can
+// still partition; global is the top.
+type dom uint8
+
+const (
+	domNone dom = iota
+	domSelf
+	domHome
+	domConfined
+	domShared
+	domGlobal
+)
+
+func (d dom) String() string {
+	switch d {
+	case domNone:
+		return "none"
+	case domSelf:
+		return "self"
+	case domHome:
+		return "home"
+	case domConfined:
+		return "confined"
+	case domShared:
+		return "shared"
+	}
+	return "global"
+}
+
+func domJoin(a, b dom) dom {
+	if a == b {
+		return a
+	}
+	if a == domNone {
+		return b
+	}
+	if b == domNone {
+		return a
+	}
+	confined := func(d dom) bool { return d == domSelf || d == domHome || d == domConfined }
+	if confined(a) && confined(b) {
+		return domConfined
+	}
+	return domGlobal
+}
+
+// confined reports whether the domain proves a partition (self, home, or
+// their carrier join).
+func (d dom) isConfined() bool {
+	return d == domSelf || d == domHome || d == domConfined
+}
+
+// normPkg normalizes a package path or load directory to a stable
+// module-relative key: the suffix starting at "internal/" when present
+// (this covers both load dirs, absolute or not, and the source importer's
+// "zsim/internal/..." paths), else the suffix starting at "testdata/"
+// (fixture universes), else the path unchanged.
+func normPkg(path string) string {
+	if i := strings.Index(path, "internal/"); i >= 0 {
+		return path[i:]
+	}
+	if i := strings.Index(path, "testdata/"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}
+
+// fieldInfo is one struct field of a covered package: the unit of
+// classification.
+type fieldInfo struct {
+	key        string // pkg.Struct.Field, pkg normalized
+	pkgDir     string
+	structName string
+	fieldName  string
+	typ        string
+	covered    bool
+	pos        token.Position
+
+	ann       string // annotated class ("" when unannotated)
+	annPos    token.Position
+	annBad    string // non-empty: why the directive is malformed
+	annOnType bool   // annotation inherited from the struct declaration
+
+	// Analysis results.
+	writes     map[dom][]token.Position // trap-reachable writes by domain
+	reads      bool                     // read on a trap-reachable path
+	writtenPre bool                     // any reachable syntactic write (pre-pass)
+}
+
+func (f *fieldInfo) writeDom() dom {
+	d := domNone
+	for wd := range f.writes {
+		d = domJoin(d, wd)
+	}
+	return d
+}
+
+// inferredClass maps the joined write domain to an annotation class.
+func (f *fieldInfo) inferredClass() string {
+	switch f.writeDom() {
+	case domSelf:
+		return "shard"
+	case domHome:
+		return "home"
+	case domConfined:
+		return "carrier"
+	}
+	return "global"
+}
+
+// cfunc is one analyzable function: a declared function or method of a
+// covered package.
+type cfunc struct {
+	key  string
+	pkg  *Package
+	decl *ast.FuncDecl
+
+	reachable bool
+	viaRoot   string // one example root that reaches it
+
+	isRoot  bool
+	recvDom dom // root receiver binding (self for trap methods, shared for protocol singletons)
+
+	bind        map[types.Object]dom // joined parameter/receiver bindings
+	ret         []pval               // per-result provenance
+	mutatesRecv bool
+
+	callers map[*cfunc]bool
+}
+
+// extEvent is one boundary crossing: a write to a field of an uncovered
+// package, or a call into one, from a trap-reachable function.
+type extEvent struct {
+	target string // "pkg.Type.Field" or "pkg.Type.Method()"
+	d      dom
+}
+
+// confineAnalysis carries the whole-program state.
+type confineAnalysis struct {
+	cfg  *ConfineConfig
+	pkgs map[string]*Package // covered, by normalized dir
+
+	funcs   map[string]*cfunc
+	methods map[string][]*cfunc // method name -> candidates (CHA)
+
+	fields       map[string]*fieldInfo
+	structFields map[string][]*fieldInfo // "pkg.Struct" -> its fields
+	state        map[*cfunc]*fnState     // per-function analysis buffers
+
+	selfPtr  map[string]bool
+	identity map[string]bool
+	selfPar  map[string]bool
+	addrType map[string]bool
+
+	roots    []*cfunc
+	boundary map[extEvent]bool
+
+	work    []*cfunc
+	inWork  map[*cfunc]bool
+	nowPass int // 1 = syntactic pre-pass, 2 = domain fixpoint
+
+	findings []Finding
+}
+
+// ConfineResult is the outcome of one whole-program run.
+type ConfineResult struct {
+	// Ran is false when the loaded package set does not contain every
+	// covered package (whole-program analysis needs the whole program).
+	Ran      bool
+	Findings []Finding
+	Report   *ConfineReport
+}
+
+// ConfineRun executes the analysis over the loaded packages with the given
+// configuration.
+func ConfineRun(pkgs []*Package, cfg *ConfineConfig) *ConfineResult {
+	an, ok := newConfineAnalysis(pkgs, cfg)
+	if !ok {
+		return &ConfineResult{Ran: false}
+	}
+	an.run()
+	rep := an.report()
+	SortFindings(an.findings)
+	return &ConfineResult{Ran: true, Findings: an.findings, Report: rep}
+}
+
+func newConfineAnalysis(pkgs []*Package, cfg *ConfineConfig) (*confineAnalysis, bool) {
+	an := &confineAnalysis{
+		cfg:          cfg,
+		pkgs:         map[string]*Package{},
+		funcs:        map[string]*cfunc{},
+		methods:      map[string][]*cfunc{},
+		fields:       map[string]*fieldInfo{},
+		structFields: map[string][]*fieldInfo{},
+		state:        map[*cfunc]*fnState{},
+		selfPtr:      toSet(cfg.SelfPointerFields),
+		identity:     toSet(cfg.IdentityFields),
+		selfPar:      toSet(cfg.SelfParamNames),
+		addrType:     toSet(cfg.AddrTypeNames),
+		boundary:     map[extEvent]bool{},
+		inWork:       map[*cfunc]bool{},
+	}
+	for _, p := range pkgs {
+		dir := normPkg(p.Dir)
+		for _, d := range cfg.Dirs {
+			if dir == d {
+				an.pkgs[d] = p
+			}
+		}
+	}
+	for _, d := range cfg.Dirs {
+		if an.pkgs[d] == nil {
+			return nil, false
+		}
+	}
+	return an, true
+}
+
+func (an *confineAnalysis) run() {
+	an.buildUniverse()
+	an.collectAnnotations()
+	an.resolveRoots()
+
+	// Pass 1: syntactic reachability and the frozen-field pre-pass — which
+	// fields have any trap-reachable write at all, ignoring provenance.
+	// Frozenness feeds the domain evaluation (reading a never-mutated
+	// configuration field is transparent), so it must be fixed first.
+	an.nowPass = 1
+	an.runWorklist()
+
+	// Pass 2: domain fixpoint over the reachable functions.
+	an.nowPass = 2
+	for _, fn := range an.funcs {
+		if fn.reachable {
+			an.enqueue(fn)
+		}
+	}
+	an.runWorklist()
+
+	an.classify()
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+// buildUniverse indexes every declared function and struct field of the
+// covered packages.
+func (an *confineAnalysis) buildUniverse() {
+	for dir, p := range an.pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					fn := &cfunc{
+						key:     funcDeclKey(dir, d),
+						pkg:     p,
+						decl:    d,
+						bind:    map[types.Object]dom{},
+						callers: map[*cfunc]bool{},
+					}
+					an.funcs[fn.key] = fn
+					if d.Recv != nil {
+						an.methods[d.Name.Name] = append(an.methods[d.Name.Name], fn)
+					}
+				case *ast.GenDecl:
+					an.indexStructs(dir, p, d)
+				}
+			}
+		}
+	}
+	for _, fns := range an.methods {
+		sort.Slice(fns, func(i, j int) bool { return fns[i].key < fns[j].key })
+	}
+}
+
+// recvTypeName extracts the receiver's base type name from a declaration.
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver Paged[T]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func funcDeclKey(dir string, d *ast.FuncDecl) string {
+	if r := recvTypeName(d); r != "" {
+		return dir + "." + r + "." + d.Name.Name
+	}
+	return dir + "." + d.Name.Name
+}
+
+// funcObjKey derives the index key of a *types.Func, whichever copy of the
+// package (loaded or source-importer) it came from.
+func funcObjKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	dir := normPkg(fn.Pkg().Path())
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return dir + "." + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return dir + "." + fn.Name()
+}
+
+// registerField adds a field to both indexes.
+func (an *confineAnalysis) registerField(f *fieldInfo) {
+	an.fields[f.key] = f
+	sk := f.pkgDir + "." + f.structName
+	an.structFields[sk] = append(an.structFields[sk], f)
+}
+
+// namedOf unwraps pointers and aliases to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// indexStructs registers every field of every struct type declared in the
+// GenDecl, together with its //zlint:confine annotation when present.
+func (an *confineAnalysis) indexStructs(dir string, p *Package, d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		typeAnn, typeBad, typePos := "", "", token.Position{}
+		for _, cg := range []*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment} {
+			if c, bad, pos := an.parseConfineComment(p, cg); c != "" || bad != "" {
+				typeAnn, typeBad, typePos = c, bad, pos
+			}
+		}
+		if typeBad != "" {
+			an.findings = append(an.findings, Finding{Pos: typePos, Analyzer: "confine", Message: typeBad})
+		}
+		for _, fl := range st.Fields.List {
+			ann, bad, annPos := "", "", token.Position{}
+			for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+				if c, b, pos := an.parseConfineComment(p, cg); c != "" || b != "" {
+					ann, bad, annPos = c, b, pos
+				}
+			}
+			if bad != "" {
+				an.findings = append(an.findings, Finding{Pos: annPos, Analyzer: "confine", Message: bad})
+				ann = ""
+			}
+			onType := false
+			if ann == "" && typeAnn != "" {
+				ann, annPos, onType = typeAnn, typePos, true
+			}
+			names := fl.Names
+			if len(names) == 0 {
+				// Embedded field: classify under the embedded type's name.
+				if n := embeddedName(fl.Type); n != "" {
+					names = []*ast.Ident{{Name: n, NamePos: fl.Type.Pos()}}
+				}
+			}
+			for _, name := range names {
+				if name.Name == "_" {
+					continue
+				}
+				key := dir + "." + ts.Name.Name + "." + name.Name
+				an.registerField(&fieldInfo{
+					key:        key,
+					pkgDir:     dir,
+					structName: ts.Name.Name,
+					fieldName:  name.Name,
+					typ:        types.ExprString(fl.Type),
+					covered:    true,
+					pos:        p.Fset.Position(name.Pos()),
+					ann:        ann,
+					annPos:     annPos,
+					annOnType:  onType,
+					writes:     map[dom][]token.Position{},
+				})
+			}
+		}
+	}
+}
+
+func embeddedName(t ast.Expr) string {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.StarExpr:
+		return embeddedName(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(tt.X)
+	}
+	return ""
+}
+
+// parseConfineComment extracts a //zlint:confine directive from a comment
+// group: the class, or a malformed-directive message.
+func (an *confineAnalysis) parseConfineComment(p *Package, cg *ast.CommentGroup) (class, bad string, pos token.Position) {
+	if cg == nil {
+		return "", "", pos
+	}
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+confineDirective)
+		if !ok {
+			continue
+		}
+		pos = p.Fset.Position(c.Pos())
+		fields := strings.Fields(text)
+		switch {
+		case len(fields) == 0:
+			return "", "//zlint:confine needs a class (home|shard|carrier|global) and a reason", pos
+		case !confineClasses[fields[0]]:
+			return "", "//zlint:confine names unknown class \"" + fields[0] + "\" (want home|shard|carrier|global)", pos
+		case len(fields) == 1:
+			return "", "//zlint:confine " + fields[0] + " needs a reason", pos
+		default:
+			return fields[0], "", pos
+		}
+	}
+	return "", "", pos
+}
+
+// collectAnnotations reports //zlint:confine directives that sit anywhere
+// other than a struct field or struct type declaration: a misplaced
+// directive silently annotates nothing.
+func (an *confineAnalysis) collectAnnotations() {
+	// Recognized positions were recorded while indexing structs.
+	known := map[token.Position]bool{}
+	for _, f := range an.fields {
+		if f.ann != "" {
+			known[f.annPos] = true
+		}
+	}
+	for _, f := range an.findings { // malformed ones are recognized too
+		known[f.Pos] = true
+	}
+	for _, p := range an.pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//"+confineDirective) {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					if !known[pos] {
+						an.findings = append(an.findings, Finding{
+							Pos: pos, Analyzer: "confine",
+							Message: "//zlint:confine must annotate a struct field or struct type declaration",
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolveRoots seeds the worklist with the configured trap entry points.
+func (an *confineAnalysis) resolveRoots() {
+	nonSelf := toSet(an.cfg.NonSelfReceiverMethods)
+	addRoot := func(fn *cfunc, recvDom dom) {
+		fn.isRoot = true
+		fn.recvDom = recvDom
+		fn.viaRoot = fn.key
+		an.roots = append(an.roots, fn)
+		an.bindRoot(fn)
+		an.markReachable(fn, fn.key)
+	}
+	for _, r := range an.cfg.Roots {
+		want := toSet(r.Methods)
+		for key, fn := range an.funcs {
+			if fn.decl.Recv == nil || !strings.HasPrefix(key, r.Dir+"."+r.Type+".") {
+				continue
+			}
+			if len(want) > 0 && !want[fn.decl.Name.Name] {
+				continue
+			}
+			d := domSelf
+			if nonSelf[fn.decl.Name.Name] {
+				d = domGlobal
+			}
+			addRoot(fn, d)
+		}
+	}
+	for _, r := range an.cfg.IfaceRoots {
+		p := an.pkgs[r.Dir]
+		if p == nil {
+			continue
+		}
+		obj := p.Types.Scope().Lookup(r.Type)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		want := toSet(r.Methods)
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			if len(want) > 0 && !want[m.Name()] {
+				continue
+			}
+			for _, fn := range an.chaCandidates(m.Name(), iface) {
+				if !fn.isRoot {
+					// The implementing object is the protocol singleton,
+					// not per-processor state: its receiver binds shared,
+					// so per-processor containers inside it still refine
+					// through self-indexed element access.
+					addRoot(fn, domShared)
+				}
+			}
+		}
+	}
+	sort.Slice(an.roots, func(i, j int) bool { return an.roots[i].key < an.roots[j].key })
+}
+
+// bindRoot applies the root binding convention: receiver self (unless
+// NonSelf), Addr-typed parameters home, self-named int parameters self,
+// everything else global.
+func (an *confineAnalysis) bindRoot(fn *cfunc) {
+	p := fn.pkg
+	if fn.decl.Recv != nil {
+		for _, f := range fn.decl.Recv.List {
+			for _, n := range f.Names {
+				if o := p.objectOf(n); o != nil {
+					fn.bind[o] = domJoin(fn.bind[o], fn.recvDom)
+				}
+			}
+		}
+	}
+	if fn.decl.Type.Params == nil {
+		return
+	}
+	for _, f := range fn.decl.Type.Params.List {
+		for _, n := range f.Names {
+			o := p.objectOf(n)
+			if o == nil {
+				continue
+			}
+			d := domGlobal
+			if an.isAddrType(o.Type()) {
+				d = domHome
+			} else if an.selfPar[n.Name] && isIntType(o.Type()) {
+				d = domSelf
+			}
+			fn.bind[o] = domJoin(fn.bind[o], d)
+		}
+	}
+}
+
+func (an *confineAnalysis) isAddrType(t types.Type) bool {
+	if n := namedOf(t); n != nil {
+		return an.addrType[n.Obj().Name()]
+	}
+	return false
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// chaCandidates lists the covered methods that can implement the named
+// interface method: every method with that name whose receiver type
+// declares (by name) the interface's full method set. Matching is by name,
+// not types.Implements, because the engine type-checks each package
+// independently and the importer's copy of a type is not identical to the
+// loaded one.
+func (an *confineAnalysis) chaCandidates(name string, iface *types.Interface) []*cfunc {
+	var need []string
+	for i := 0; i < iface.NumMethods(); i++ {
+		need = append(need, iface.Method(i).Name())
+	}
+	var out []*cfunc
+	for _, fn := range an.methods[name] {
+		rt := fn.recvNamed()
+		if rt == nil {
+			continue
+		}
+		ms := map[string]bool{}
+		mset := types.NewMethodSet(types.NewPointer(rt))
+		for i := 0; i < mset.Len(); i++ {
+			ms[mset.At(i).Obj().Name()] = true
+		}
+		ok := true
+		for _, n := range need {
+			if !ms[n] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// recvNamed resolves the method's receiver to its named type.
+func (fn *cfunc) recvNamed() *types.Named {
+	if fn.decl.Recv == nil || len(fn.decl.Recv.List) == 0 {
+		return nil
+	}
+	var id *ast.Ident
+	t := fn.decl.Recv.List[0].Type
+	for id == nil {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			id = tt
+		default:
+			return nil
+		}
+	}
+	obj := fn.pkg.objectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if n, ok := obj.Type().(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+func (an *confineAnalysis) markReachable(fn *cfunc, via string) {
+	if fn.reachable {
+		return
+	}
+	fn.reachable = true
+	if fn.viaRoot == "" {
+		fn.viaRoot = via
+	}
+	an.enqueue(fn)
+}
+
+func (an *confineAnalysis) enqueue(fn *cfunc) {
+	if !an.inWork[fn] {
+		an.inWork[fn] = true
+		an.work = append(an.work, fn)
+	}
+}
+
+func (an *confineAnalysis) runWorklist() {
+	for len(an.work) > 0 {
+		fn := an.work[0]
+		an.work = an.work[1:]
+		an.inWork[fn] = false
+		an.analyze(fn)
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// confineFixtures are the seeded-violation universes for the confine
+// analyzer: each is a self-contained package under testdata/confine/ with
+// its own Addr type and Env trap root, analyzed with a config scoped to
+// that one package. Goldens regenerate with
+//
+//	go test ./internal/lint -run TestConfineFixtures -update
+var confineFixtures = []string{"badanno", "crosshome", "globaltrap"}
+
+// confineFixtureConfig scopes the analysis to one fixture package.
+func confineFixtureConfig(dir string) *ConfineConfig {
+	return &ConfineConfig{
+		Dirs:           []string{dir},
+		Roots:          []ConfineRoot{{Dir: dir, Type: "Env"}},
+		SelfParamNames: []string{"p"},
+		AddrTypeNames:  []string{"Addr"},
+	}
+}
+
+func TestConfineFixtures(t *testing.T) {
+	for _, name := range confineFixtures {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "confine", name)
+			p, err := NewLoader().LoadDir(dir, true)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			res := ConfineRun([]*Package{p}, confineFixtureConfig(normPkg(p.Dir)))
+			if !res.Ran {
+				t.Fatal("confine did not run: fixture package not matched by its config")
+			}
+			lines := make([]string, 0, len(res.Findings))
+			for _, f := range res.Findings {
+				f.Pos.Filename = filepath.Base(f.Pos.Filename)
+				lines = append(lines, f.String())
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			golden := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("confine findings mismatch\n got:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestConfineRealTree runs the whole-program analysis over the actual
+// module and pins the acceptance-critical proofs: the directory presence
+// sets and entries, the z-machine writer records, and the per-node store
+// buffers must be PROVEN into their partitions, not merely annotated. A
+// regression that widens any of these to global (or downgrades a proof to
+// an admitted annotation) fails here even before the CONFINEMENT.md diff.
+func TestConfineRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-program load in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader().Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ConfineRun(pkgs, DefaultConfineConfig())
+	if !res.Ran {
+		t.Fatal("confine did not run: a covered package is missing from ./...")
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+
+	type want struct{ class, status string }
+	wants := map[string]want{
+		"internal/cache.Line.ReadyAt":           {"shard", "proven"},
+		"internal/directory.Bitset.w0":          {"home", "proven"},
+		"internal/directory.Directory.allocs":   {"home", "proven"},
+		"internal/directory.Entry.State":        {"home", "proven"},
+		"internal/directory.Entry.Version":      {"home", "proven"},
+		"internal/machine.Machine.coreFree":     {"shard", "proven"},
+		"internal/machine.Machine.values":       {"home", "proven"},
+		"internal/memsys.Counters.PerProcReads": {"shard", "proven"},
+		"internal/memsys.Counters.ReadMisses":   {"global", "admitted"},
+		"internal/memsys.Paged.pages":           {"carrier", "proven"},
+		"internal/mesh.Net.busy":                {"global", "admitted"},
+		"internal/proto.upd.sb":                 {"shard", "proven"},
+		"internal/proto.zline.writeAt":          {"home", "proven"},
+		"internal/proto.zline.writer":           {"home", "proven"},
+		"internal/proto.zline.written":          {"home", "proven"},
+		"internal/wbuffer.MergeBuffer.lines":    {"carrier", "proven"},
+		"internal/wbuffer.StoreBuffer.pending":  {"shard", "proven"},
+	}
+	got := map[string]want{}
+	for _, pk := range res.Report.Packages {
+		for _, row := range pk.Rows {
+			got[pk.Dir+"."+row.Struct+"."+row.Field] = want{row.Class, row.Status}
+		}
+	}
+	for key, w := range wants {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: not classified (expected %s/%s)", key, w.class, w.status)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: classified %s/%s, want %s/%s", key, g.class, g.status, w.class, w.status)
+		}
+	}
+}

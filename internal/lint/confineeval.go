@@ -1,0 +1,1134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pval is the provenance of one expression: a domain, plus — for pointers
+// and containers — the covered field whose storage the value lives in, so
+// a write through the value can be attributed to that field.
+type pval struct {
+	d      dom
+	attrib *fieldInfo
+}
+
+func pnone() pval   { return pval{d: domNone} }
+func pglobal() pval { return pval{d: domGlobal} }
+func pjoin(a, b pval) pval {
+	out := pval{d: domJoin(a.d, b.d), attrib: a.attrib}
+	if out.attrib == nil {
+		out.attrib = b.attrib
+	}
+	return out
+}
+
+// evalBinary folds provenance through arithmetic. Only modular/scaling
+// reduction (%, /) preserves a partition index — those are exactly the
+// operators the canonical derivations use (addr/lineSize, line%nodes,
+// addr/WordSize, p/wordBits). Displacing arithmetic (+, -, |, ...) maps a
+// partition index onto a *different* cell, so its result degrades to the
+// global domain unless both operands are transparent; homes[h+1] must not
+// inherit h's home pedigree. Comparisons and logic yield data, not indexes.
+func (ctx *evalCtx) evalBinary(be *ast.BinaryExpr) pval {
+	x := ctx.eval(be.X)
+	y := ctx.eval(be.Y)
+	switch be.Op {
+	case token.REM, token.QUO, token.MUL, token.SHL, token.SHR:
+		if y.d == domNone {
+			return x
+		}
+		if x.d == domNone {
+			return y
+		}
+		return pjoin(x, y)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.LAND, token.LOR:
+		return pnone()
+	default:
+		if x.d == domNone && y.d == domNone {
+			return pnone()
+		}
+		return pglobal()
+	}
+}
+
+// access is one recorded field mutation or boundary-read, owned by the
+// function that performed it (recomputed whole on re-analysis, merged
+// after the fixpoint).
+type access struct {
+	f   *fieldInfo
+	d   dom
+	pos token.Position
+}
+
+// fnState is the per-function analysis buffer, recomputed by each analyze
+// call so a re-analysis replaces (never accumulates onto) stale results
+// computed from earlier, smaller bindings.
+type fnState struct {
+	writes   []access
+	external []extEvent
+}
+
+// evalCtx evaluates one function body under its current bindings.
+type evalCtx struct {
+	an      *confineAnalysis
+	fn      *cfunc
+	p       *Package
+	locals  map[types.Object]pval
+	recvObj types.Object
+	record  bool // final walk: record writes, propagate to callees
+	state   *fnState
+	changed bool // a local binding grew this pass
+	inline  int  // inline-expansion depth (identity-accessor calls)
+}
+
+// analyze runs one function: pass 1 is the syntactic pre-pass
+// (reachability, written-anywhere, read-anywhere), pass 2 settles local
+// bindings under the current parameter bindings and then records writes,
+// boundary events, returns, and callee propagation.
+func (an *confineAnalysis) analyze(fn *cfunc) {
+	if fn.decl.Body == nil {
+		return
+	}
+	if an.nowPass == 1 {
+		an.syntactic(fn)
+		return
+	}
+	ctx := &evalCtx{an: an, fn: fn, p: fn.pkg, locals: map[types.Object]pval{}}
+	if fn.decl.Recv != nil && len(fn.decl.Recv.List) > 0 && len(fn.decl.Recv.List[0].Names) > 0 {
+		ctx.recvObj = fn.pkg.objectOf(fn.decl.Recv.List[0].Names[0])
+	}
+	// Settle locals: simple chains converge in one pass, loop-carried
+	// joins in a few more. The bound only caps re-walks per analyze call;
+	// the outer fixpoint re-analyzes whenever inputs grow, so a late
+	// convergence is corrected there.
+	for i := 0; i < 4; i++ {
+		ctx.changed = false
+		ctx.walkStmts(fn.decl.Body)
+		if !ctx.changed {
+			break
+		}
+	}
+	st := &fnState{}
+	ctx.record, ctx.state = true, st
+	oldRet := append([]pval(nil), fn.ret...)
+	oldMut := fn.mutatesRecv
+	fn.ret = make([]pval, resultCount(fn))
+	ctx.walkStmts(fn.decl.Body)
+	an.state[fn] = st
+	if fn.mutatesRecv && !oldMut {
+		for c := range fn.callers {
+			an.enqueue(c)
+		}
+	}
+	for i, r := range fn.ret {
+		if i < len(oldRet) {
+			fn.ret[i] = pjoin(fn.ret[i], oldRet[i]) // monotone
+		}
+		if i >= len(oldRet) || fn.ret[i] != oldRet[i] {
+			for c := range fn.callers {
+				an.enqueue(c)
+			}
+		}
+		_ = r
+	}
+}
+
+func resultCount(fn *cfunc) int {
+	if fn.decl.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range fn.decl.Type.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// ---- pass 1: syntactic reachability / written / read ----
+
+func (an *confineAnalysis) syntactic(fn *cfunc) {
+	p := fn.pkg
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			for _, callee := range an.resolveCallees(p, nn) {
+				callee.callers[fn] = true
+				an.markReachable(callee, fn.viaRoot)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range nn.Lhs {
+				an.markWrittenSyntactic(p, lhs)
+			}
+		case *ast.IncDecStmt:
+			an.markWrittenSyntactic(p, nn.X)
+		case *ast.SelectorExpr:
+			if f := an.selectionField(p, nn); f != nil {
+				f.reads = true
+			}
+		case *ast.CompositeLit:
+			an.markCompositeWritten(p, nn)
+		}
+		return true
+	})
+}
+
+// markWrittenSyntactic marks the outermost selected field of an lvalue as
+// written, and expands whole-struct stores to every field of the struct.
+func (an *confineAnalysis) markWrittenSyntactic(p *Package, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		if f := an.selectionField(p, sel); f != nil {
+			f.writtenPre = true
+		}
+	}
+	if tv, ok := p.Info.Types[lhs]; ok {
+		for _, f := range an.structFieldsOf(tv.Type) {
+			f.writtenPre = true
+		}
+	}
+}
+
+func (an *confineAnalysis) markCompositeWritten(p *Package, cl *ast.CompositeLit) {
+	tv, ok := p.Info.Types[cl]
+	if !ok {
+		return
+	}
+	fields := an.structFieldsOf(tv.Type)
+	if fields == nil {
+		return
+	}
+	keyed := false
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				for _, f := range fields {
+					if f.fieldName == id.Name {
+						f.writtenPre = true
+					}
+				}
+			}
+		}
+	}
+	if !keyed && len(cl.Elts) > 0 {
+		for _, f := range fields {
+			f.writtenPre = true
+		}
+	}
+}
+
+// structFieldsOf returns the registered fields of a covered struct type
+// (nil for anything else).
+func (an *confineAnalysis) structFieldsOf(t types.Type) []*fieldInfo {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil
+	}
+	key := normPkg(n.Obj().Pkg().Path()) + "." + n.Obj().Name()
+	return an.structFields[key]
+}
+
+// resolveCallees resolves a call to its analyzable callees: the declared
+// function for a direct or method call, or every CHA candidate for a call
+// through an interface.
+func (an *confineAnalysis) resolveCallees(p *Package, call *ast.CallExpr) []*cfunc {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				return an.chaCandidates(sel.Sel.Name, iface)
+			}
+		}
+	}
+	tf := p.calleeFunc(call)
+	if tf == nil {
+		return nil
+	}
+	if fn := an.funcs[funcObjKey(tf)]; fn != nil {
+		return []*cfunc{fn}
+	}
+	return nil
+}
+
+// selectionField resolves a selector to the covered fieldInfo it reads, or
+// nil for methods, package-qualified names, and uncovered fields.
+func (an *confineAnalysis) selectionField(p *Package, sel *ast.SelectorExpr) *fieldInfo {
+	v, owner := fieldVarOf(p, sel)
+	if v == nil || v.Pkg() == nil {
+		return nil
+	}
+	return an.fields[normPkg(v.Pkg().Path())+"."+owner+"."+v.Name()]
+}
+
+// fieldVarOf resolves a selector to the field variable it denotes and the
+// name of the struct type that declares it (walking through embedded
+// fields to the declaring struct).
+func fieldVarOf(p *Package, sel *ast.SelectorExpr) (*types.Var, string) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	t := s.Recv()
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := derefStruct(t)
+		if !ok || i >= st.NumFields() {
+			return v, ""
+		}
+		t = st.Field(i).Type()
+	}
+	if n := namedOf(t); n != nil {
+		return v, n.Obj().Name()
+	}
+	return v, ""
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// ---- pass 2: domain evaluation ----
+
+// walkStmts walks every statement, keeping local bindings up to date and —
+// in the record pass — emitting write events and callee propagation.
+func (ctx *evalCtx) walkStmts(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			ctx.assign(nn)
+			return true
+		case *ast.IncDecStmt:
+			ctx.writeTo(nn.X, nn)
+			return true
+		case *ast.RangeStmt:
+			ctx.rangeStmt(nn)
+			return true
+		case *ast.ReturnStmt:
+			ctx.returnStmt(nn)
+			return true
+		case *ast.CallExpr:
+			// Bare call statements and nested calls both land here; eval
+			// handles argument propagation in the record pass.
+			ctx.eval(nn)
+			return true
+		case *ast.TypeSwitchStmt:
+			ctx.typeSwitch(nn)
+			return true
+		case *ast.FuncLit:
+			// A closure's body runs with unknown bindings for its own
+			// parameters; captured locals keep their bindings.
+			ctx.bindFieldList(nn.Type.Params, pglobal())
+			return true
+		case *ast.SendStmt:
+			ctx.eval(nn.Value)
+			return true
+		}
+		return true
+	})
+}
+
+func (ctx *evalCtx) bindFieldList(fl *ast.FieldList, v pval) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if o := ctx.p.objectOf(name); o != nil {
+				ctx.bindLocal(o, v)
+			}
+		}
+	}
+}
+
+func (ctx *evalCtx) bindLocal(o types.Object, v pval) {
+	old, ok := ctx.locals[o]
+	nv := pjoin(old, v)
+	if !ok || nv != old {
+		ctx.locals[o] = nv
+		ctx.changed = true
+	}
+}
+
+func (ctx *evalCtx) assign(as *ast.AssignStmt) {
+	// Multi-value forms: x, y := f() / v, ok := m[k] / v, ok := x.(T).
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		vals := ctx.evalMulti(as.Rhs[0], len(as.Lhs))
+		for i, lhs := range as.Lhs {
+			ctx.assignOne(lhs, vals[i], as)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var v pval
+		if i < len(as.Rhs) {
+			v = ctx.eval(as.Rhs[i])
+		}
+		ctx.assignOne(lhs, v, as)
+	}
+}
+
+func (ctx *evalCtx) assignOne(lhs ast.Expr, v pval, at ast.Node) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		o := ctx.p.objectOf(id)
+		if o == nil {
+			return
+		}
+		if _, isParam := ctx.fn.bind[o]; isParam {
+			// Reassigning a parameter: track as a local from here on.
+			ctx.bindLocal(o, pjoin(pval{d: ctx.fn.bind[o]}, v))
+			return
+		}
+		ctx.bindLocal(o, v)
+		return
+	}
+	ctx.writeTo(lhs, at)
+}
+
+// evalMulti evaluates a multi-value expression into n pvals.
+func (ctx *evalCtx) evalMulti(e ast.Expr, n int) []pval {
+	out := make([]pval, n)
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		rets := ctx.evalCallMulti(call, n)
+		copy(out, rets)
+		return out
+	}
+	// v, ok := m[k] / x.(T): first value carries the source's provenance,
+	// the ok is a fresh bool.
+	v := ctx.eval(e)
+	out[0] = v
+	for i := 1; i < n; i++ {
+		out[i] = pnone()
+	}
+	return out
+}
+
+func (ctx *evalCtx) rangeStmt(r *ast.RangeStmt) {
+	c := ctx.eval(r.X)
+	var kv, vv pval
+	switch {
+	case c.d.isConfined():
+		kv, vv = pval{d: c.d}, pval{d: c.d, attrib: c.attrib}
+	case c.d == domNone:
+		kv, vv = pnone(), pnone()
+	default:
+		kv, vv = pglobal(), pval{d: domGlobal, attrib: c.attrib}
+	}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := ctx.p.objectOf(id); o != nil {
+				if e == r.Key {
+					ctx.bindLocal(o, kv)
+				} else {
+					ctx.bindLocal(o, vv)
+				}
+			}
+		}
+	}
+}
+
+func (ctx *evalCtx) typeSwitch(ts *ast.TypeSwitchStmt) {
+	as, ok := ts.Assign.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || len(as.Rhs) != 1 {
+		return
+	}
+	v := ctx.eval(as.Rhs[0])
+	// The per-clause variable is a distinct object per CaseClause.
+	for _, cc := range ts.Body.List {
+		if c, ok := cc.(*ast.CaseClause); ok {
+			if o := ctx.p.Info.Implicits[c]; o != nil {
+				ctx.bindLocal(o, v)
+			}
+		}
+	}
+	_ = id
+}
+
+func (ctx *evalCtx) returnStmt(r *ast.ReturnStmt) {
+	if !ctx.record || len(ctx.fn.ret) == 0 {
+		return
+	}
+	if len(r.Results) == len(ctx.fn.ret) {
+		for i, e := range r.Results {
+			ctx.fn.ret[i] = pjoin(ctx.fn.ret[i], ctx.eval(e))
+		}
+		return
+	}
+	if len(r.Results) == 1 { // return f() fanning out to multiple results
+		vals := ctx.evalMulti(r.Results[0], len(ctx.fn.ret))
+		for i := range ctx.fn.ret {
+			ctx.fn.ret[i] = pjoin(ctx.fn.ret[i], vals[i])
+		}
+		return
+	}
+	// Bare return with named results: the named result locals carry it.
+	if ctx.fn.decl.Type.Results != nil {
+		i := 0
+		for _, f := range ctx.fn.decl.Type.Results.List {
+			for _, name := range f.Names {
+				if o := ctx.p.objectOf(name); o != nil {
+					ctx.fn.ret[i] = pjoin(ctx.fn.ret[i], ctx.locals[o])
+				}
+				i++
+			}
+		}
+	}
+}
+
+// writeTo records a mutation of the place denoted by lhs.
+func (ctx *evalCtx) writeTo(lhs ast.Expr, at ast.Node) {
+	if !ctx.record {
+		return
+	}
+	lhs = ast.Unparen(lhs)
+	var (
+		f *fieldInfo
+		d dom
+	)
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		f = ctx.an.selectionField(ctx.p, l)
+		base := ctx.eval(l.X)
+		d = directWriteDom(base.d)
+		if f == nil {
+			ctx.boundaryWrite(l, d)
+		}
+	case *ast.IndexExpr, *ast.StarExpr:
+		pv := ctx.eval(lhs)
+		f, d = pv.attrib, pv.d
+		if d == domShared {
+			d = domGlobal
+		}
+	default:
+		return
+	}
+	ctx.recordWrite(f, d, at, lhs)
+	// A store of a whole covered struct mutates every field of it.
+	if tv, ok := ctx.p.Info.Types[lhs]; ok {
+		for _, sf := range ctx.an.structFieldsOf(tv.Type) {
+			ctx.recordWrite(sf, d, at, lhs)
+		}
+	}
+}
+
+// directWriteDom maps the provenance of a write's base object to the
+// write's domain: writing a field of the machine-wide singleton is a
+// global mutation no matter who holds the pointer.
+func directWriteDom(d dom) dom {
+	if d == domShared {
+		return domGlobal
+	}
+	return d
+}
+
+func (ctx *evalCtx) recordWrite(f *fieldInfo, d dom, at ast.Node, root ast.Expr) {
+	if f == nil || d == domNone {
+		return
+	}
+	ctx.state.writes = append(ctx.state.writes, access{f: f, d: d, pos: ctx.p.position(at)})
+	if ctx.recvObj != nil && leftmostObj(ctx.p, root) == ctx.recvObj {
+		ctx.fn.mutatesRecv = true
+	}
+}
+
+// leftmostObj resolves the root identifier of an lvalue chain.
+func leftmostObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch ee := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.objectOf(ee)
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		case *ast.SliceExpr:
+			e = ee.X
+		default:
+			return nil
+		}
+	}
+}
+
+// boundaryWrite records a trap-reachable write into an uncovered
+// module-internal package (the analysis boundary).
+func (ctx *evalCtx) boundaryWrite(sel *ast.SelectorExpr, d dom) {
+	v, owner := fieldVarOf(ctx.p, sel)
+	if v == nil || v.Pkg() == nil {
+		return
+	}
+	pkg := normPkg(v.Pkg().Path())
+	if !strings.HasPrefix(pkg, "internal/") {
+		return
+	}
+	ctx.state.external = append(ctx.state.external,
+		extEvent{target: pkg + "." + owner + "." + v.Name() + " ← write", d: d})
+}
+
+// eval computes an expression's provenance under the current bindings.
+// For scalar values the domain is the partition the value indexes (self,
+// home, none for constants and frozen configuration); for pointers and
+// containers it is where the object lives.
+//
+// A value whose static type is a configured address type is in the home
+// domain by construction, wherever it traveled: the home function maps
+// every address into the home partition for that address, so indexing a
+// home-partitioned structure by (addr-derived) % nodes stays inside the
+// partition even when the address was staged through a buffer or closure.
+// Constants stay transparent — a literal address pins one partition cell,
+// which is exactly what the class must not silently admit.
+func (ctx *evalCtx) eval(e ast.Expr) pval {
+	pv := ctx.evalCore(e)
+	if pv.d != domNone && pv.d != domHome {
+		if tv, ok := ctx.p.Info.Types[e]; ok && tv.IsValue() && ctx.an.isAddrType(tv.Type) {
+			pv.d = domHome
+		}
+	}
+	return pv
+}
+
+func (ctx *evalCtx) evalCore(e ast.Expr) pval {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return ctx.evalIdent(ee)
+	case *ast.BasicLit:
+		return pnone()
+	case *ast.ParenExpr:
+		return ctx.eval(ee.X)
+	case *ast.SelectorExpr:
+		return ctx.evalSelector(ee)
+	case *ast.IndexExpr:
+		return ctx.evalIndex(ee)
+	case *ast.IndexListExpr:
+		return ctx.eval(ee.X)
+	case *ast.StarExpr:
+		return ctx.eval(ee.X)
+	case *ast.UnaryExpr:
+		return ctx.eval(ee.X)
+	case *ast.BinaryExpr:
+		return ctx.evalBinary(ee)
+	case *ast.KeyValueExpr:
+		return ctx.eval(ee.Value)
+	case *ast.CallExpr:
+		rets := ctx.evalCallMulti(ee, 1)
+		return rets[0]
+	case *ast.CompositeLit:
+		for _, el := range ee.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				ctx.eval(kv.Value)
+			} else {
+				ctx.eval(el)
+			}
+		}
+		return pnone()
+	case *ast.TypeAssertExpr:
+		return ctx.eval(ee.X)
+	case *ast.SliceExpr:
+		return ctx.eval(ee.X)
+	case *ast.FuncLit:
+		return pnone()
+	}
+	return pglobal()
+}
+
+func (ctx *evalCtx) evalIdent(id *ast.Ident) pval {
+	if id.Name == "_" || id.Name == "nil" || id.Name == "true" || id.Name == "false" {
+		return pnone()
+	}
+	o := ctx.p.objectOf(id)
+	if o == nil {
+		return pnone()
+	}
+	if v, ok := ctx.locals[o]; ok {
+		return v
+	}
+	if d, ok := ctx.fn.bind[o]; ok {
+		return pval{d: d}
+	}
+	switch o.(type) {
+	case *types.Const, *types.TypeName, *types.Func, *types.Builtin:
+		return pnone()
+	case *types.Var:
+		if o.Parent() != nil && o.Parent().Parent() == types.Universe {
+			// Package-level variable: shared by construction (globalmut
+			// already bans these in the deterministic zone).
+			return pglobal()
+		}
+		// A local we have not seen bound yet (declared via var, or bound
+		// later in a loop): fresh until proven otherwise.
+		return pnone()
+	}
+	return pnone()
+}
+
+func (ctx *evalCtx) evalSelector(sel *ast.SelectorExpr) pval {
+	s, ok := ctx.p.Info.Selections[sel]
+	if !ok {
+		// Package-qualified name.
+		o := ctx.p.objectOf(sel.Sel)
+		switch o.(type) {
+		case *types.Const, *types.TypeName, *types.Func, *types.Builtin:
+			return pnone()
+		case *types.Var:
+			return pglobal()
+		}
+		return pnone()
+	}
+	if s.Kind() != types.FieldVal {
+		return pnone() // method value; dynamic calls are not followed
+	}
+	base := ctx.eval(sel.X)
+	v, owner := fieldVarOf(ctx.p, sel)
+	if v == nil {
+		return pglobal()
+	}
+	var key string
+	if v.Pkg() != nil {
+		key = normPkg(v.Pkg().Path()) + "." + owner + "." + v.Name()
+	}
+	f := ctx.an.fields[key]
+	if base.d == domNone {
+		// The base object is fresh or its binding has not propagated yet
+		// (the fixpoint may walk a callee before its receiver's domain
+		// arrives). Stay transparent: joins are monotone, so letting an
+		// early walk fall through to global would pollute every callee
+		// binding permanently; none re-derives on the next walk instead.
+		return pval{d: domNone, attrib: orAttrib(f, base.attrib)}
+	}
+	switch classifyFieldType(v.Type()) {
+	case fieldPtr:
+		if ctx.an.selfPtr[key] && base.d == domSelf {
+			return pval{d: domSelf}
+		}
+		if ptrToOwnedData(v.Type()) {
+			// A pointer to plain data (array/basic): an owned extension of
+			// the base object (e.g. a bitset's overflow words).
+			return pval{d: base.d, attrib: f}
+		}
+		if base.d.isConfined() || base.d == domShared {
+			return pval{d: domShared}
+		}
+		return pglobal()
+	case fieldContainer:
+		// Slices, arrays, maps, structs, channels: part of the base object.
+		d := base.d
+		return pval{d: d, attrib: orAttrib(f, base.attrib)}
+	default: // scalar
+		if ctx.an.identity[key] && base.d == domSelf {
+			return pval{d: domSelf}
+		}
+		if f != nil && !f.writtenPre {
+			return pnone() // frozen configuration: transparent
+		}
+		if key != "" && f == nil && v.Pkg() != nil {
+			// Scalar of an uncovered struct: unknown data.
+			return pglobal()
+		}
+		return pglobal()
+	}
+}
+
+func orAttrib(a, b *fieldInfo) *fieldInfo {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+type fieldTypeClass uint8
+
+const (
+	fieldScalar fieldTypeClass = iota
+	fieldPtr
+	fieldContainer
+)
+
+func classifyFieldType(t types.Type) fieldTypeClass {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return fieldPtr
+	case *types.Slice, *types.Array, *types.Map, *types.Struct, *types.Chan:
+		return fieldContainer
+	case *types.Interface:
+		return fieldPtr
+	case *types.Signature:
+		return fieldScalar
+	case *types.Basic:
+		_ = u
+		return fieldScalar
+	}
+	return fieldScalar
+}
+
+// ptrToOwnedData reports whether a pointer type points at plain data — an
+// array or basic value with no methods — which the analysis treats as an
+// owned extension of the containing object rather than a shared singleton.
+func ptrToOwnedData(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	switch ptr.Elem().Underlying().(type) {
+	case *types.Array, *types.Basic:
+		return true
+	}
+	return false
+}
+
+func (ctx *evalCtx) evalIndex(ix *ast.IndexExpr) pval {
+	// Generic instantiation (F[T]) rather than an index expression.
+	if tv, ok := ctx.p.Info.Types[ix.Index]; ok && tv.IsType() {
+		return ctx.eval(ix.X)
+	}
+	base := ctx.eval(ix.X)
+	switch {
+	case base.d.isConfined():
+		return pval{d: base.d, attrib: base.attrib}
+	case base.d == domShared:
+		idx := ctx.eval(ix.Index)
+		if idx.d == domSelf || idx.d == domHome {
+			return pval{d: idx.d, attrib: base.attrib}
+		}
+		return pval{d: domGlobal, attrib: base.attrib}
+	case base.d == domNone:
+		return pnone()
+	}
+	return pval{d: domGlobal, attrib: base.attrib}
+}
+
+// evalCallMulti evaluates a call and returns n result provenances,
+// propagating argument bindings into every resolved callee in the record
+// pass.
+func (ctx *evalCtx) evalCallMulti(call *ast.CallExpr, n int) []pval {
+	out := make([]pval, n)
+	for i := range out {
+		out[i] = pglobal()
+	}
+	// Conversion?
+	if tv, ok := ctx.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			out[0] = ctx.eval(call.Args[0])
+		}
+		return out
+	}
+	// Builtin?
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := ctx.p.objectOf(id).(*types.Builtin); ok {
+			return ctx.evalBuiltin(id.Name, call, out)
+		}
+	}
+	// Carrier element accessor?
+	if pv, ok := ctx.evalElemMethod(call); ok {
+		for _, a := range call.Args {
+			ctx.eval(a)
+		}
+		out[0] = pv
+		return out
+	}
+	callees := ctx.an.resolveCallees(ctx.p, call)
+	for _, a := range call.Args {
+		ctx.eval(a) // evaluate for nested calls' side effects
+	}
+	if len(callees) == 0 {
+		ctx.externalCall(call)
+		return out
+	}
+	for i := range out {
+		out[i] = pnone() // join of callee returns, grown below
+	}
+	for _, callee := range callees {
+		if ctx.record {
+			callee.callers[ctx.fn] = true
+			ctx.propagateArgs(call, callee)
+			ctx.maybeRecvMutation(call, callee)
+		}
+		if n == 1 && len(callees) == 1 {
+			// Identity accessors (Proc.ID, base.line, memsys.Line, ...)
+			// must be evaluated per call site: the joined summary of a
+			// helper shared between a self trap path and the kernel
+			// scheduler would degrade every caller to global.
+			if pv, ok := ctx.tryInline(call, callee); ok {
+				out[0] = pv
+				return out
+			}
+		}
+		for i := 0; i < n && i < len(callee.ret); i++ {
+			out[i] = pjoin(out[i], callee.ret[i])
+		}
+	}
+	return out
+}
+
+// tryInline evaluates a single-return callee's result expression with the
+// call site's actual argument provenances bound, giving one level of
+// context sensitivity for the pure accessor helpers the protocol code is
+// written in terms of. Anything with more than one statement keeps its
+// joined summary.
+func (ctx *evalCtx) tryInline(call *ast.CallExpr, callee *cfunc) (pval, bool) {
+	if ctx.inline >= 8 || callee.decl.Body == nil || len(callee.decl.Body.List) != 1 {
+		return pval{}, false
+	}
+	ret, ok := callee.decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return pval{}, false
+	}
+	child := &evalCtx{
+		an:     ctx.an,
+		fn:     callee,
+		p:      callee.pkg,
+		locals: map[types.Object]pval{},
+		inline: ctx.inline + 1,
+	}
+	if ro := calleeRecvObj(callee); ro != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := ctx.p.Info.Selections[sel]; isSel {
+				child.locals[ro] = ctx.eval(sel.X)
+			}
+		}
+	}
+	params := callee.decl.Type.Params
+	if params != nil {
+		var objs []types.Object
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				objs = append(objs, callee.pkg.objectOf(name))
+			}
+		}
+		for i, a := range call.Args {
+			if i < len(objs) && objs[i] != nil {
+				child.locals[objs[i]] = ctx.eval(a)
+			}
+		}
+	}
+	return child.eval(ret.Results[0]), true
+}
+
+func (ctx *evalCtx) evalBuiltin(name string, call *ast.CallExpr, out []pval) []pval {
+	switch name {
+	case "len", "cap", "new", "make":
+		for _, a := range call.Args {
+			ctx.eval(a)
+		}
+		out[0] = pnone()
+	case "append":
+		v := pnone()
+		for _, a := range call.Args {
+			v = pjoin(v, ctx.eval(a))
+		}
+		out[0] = v
+		// Appending mutates the backing store of the destination.
+		if len(call.Args) > 0 {
+			ctx.writeTo(call.Args[0], call)
+		}
+	case "copy", "delete":
+		for _, a := range call.Args {
+			ctx.eval(a)
+		}
+		if len(call.Args) > 0 {
+			ctx.writeTo(call.Args[0], call)
+		}
+		out[0] = pnone()
+	default:
+		for _, a := range call.Args {
+			ctx.eval(a)
+		}
+		out[0] = pnone()
+	}
+	return out
+}
+
+// evalElemMethod handles the configured carrier-table accessors (Paged.At
+// and friends): the receiver and result take the element's partition.
+func (ctx *evalCtx) evalElemMethod(call *ast.CallExpr) (pval, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return pval{}, false
+	}
+	s, ok := ctx.p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return pval{}, false
+	}
+	rn := namedOf(s.Recv())
+	if rn == nil || !ctx.an.cfg.ElemMethods[rn.Obj().Name()+"."+sel.Sel.Name] {
+		return pval{}, false
+	}
+	recv := ctx.eval(sel.X)
+	d := domGlobal
+	switch {
+	case recv.d.isConfined():
+		d = recv.d
+	case recv.d == domShared && len(call.Args) > 0:
+		if idx := ctx.eval(call.Args[0]); idx.d == domSelf || idx.d == domHome {
+			d = idx.d
+		}
+	case recv.d == domNone:
+		d = domNone
+	}
+	pv := pval{d: d, attrib: recv.attrib}
+	if ctx.record {
+		// The accessor itself is covered code (it may grow the table):
+		// analyze it under the resolved element domain.
+		for _, callee := range ctx.an.resolveCallees(ctx.p, call) {
+			callee.callers[ctx.fn] = true
+			if ro := calleeRecvObj(callee); ro != nil {
+				ctx.an.joinBind(callee, ro, d)
+			}
+			ctx.propagateParamsOnly(call, callee)
+		}
+	}
+	return pv, true
+}
+
+func calleeRecvObj(fn *cfunc) types.Object {
+	if fn.decl.Recv == nil || len(fn.decl.Recv.List) == 0 || len(fn.decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fn.pkg.objectOf(fn.decl.Recv.List[0].Names[0])
+}
+
+// propagateArgs joins the call's argument and receiver provenances into
+// the callee's bindings, enqueueing it when they grow.
+func (ctx *evalCtx) propagateArgs(call *ast.CallExpr, callee *cfunc) {
+	if ro := calleeRecvObj(callee); ro != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv := ctx.eval(sel.X)
+			d := recv.d
+			if d == domNone {
+				d = domNone // fresh receiver: constructor-style, keep none
+			}
+			ctx.an.joinBind(callee, ro, d)
+		} else {
+			ctx.an.joinBind(callee, ro, domGlobal) // method expression etc.
+		}
+	}
+	ctx.propagateParamsOnly(call, callee)
+}
+
+func (ctx *evalCtx) propagateParamsOnly(call *ast.CallExpr, callee *cfunc) {
+	params := callee.decl.Type.Params
+	if params == nil {
+		return
+	}
+	var objs []types.Object
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			objs = append(objs, callee.pkg.objectOf(name))
+		}
+		if len(f.Names) == 0 {
+			objs = append(objs, nil) // unnamed parameter absorbs nothing
+		}
+	}
+	for i, a := range call.Args {
+		d := ctx.eval(a).d
+		if d == domShared {
+			d = domShared // object args keep shared; joinBind handles it
+		}
+		j := i
+		if j >= len(objs) {
+			j = len(objs) - 1 // variadic tail
+		}
+		if j >= 0 && objs[j] != nil {
+			ctx.an.joinBind(callee, objs[j], d)
+		}
+	}
+}
+
+// maybeRecvMutation attributes a mutating method call on a value-typed
+// field (e.g. entry.Sharers.Add(p)) as a write to that field.
+func (ctx *evalCtx) maybeRecvMutation(call *ast.CallExpr, callee *cfunc) {
+	if !callee.mutatesRecv {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvExpr := ast.Unparen(sel.X)
+	switch r := recvExpr.(type) {
+	case *ast.SelectorExpr:
+		if f := ctx.an.selectionField(ctx.p, r); f != nil {
+			if v, _ := fieldVarOf(ctx.p, r); v != nil && classifyFieldType(v.Type()) == fieldPtr {
+				// A mutating call through a pointer or interface handle
+				// mutates the pointee, whose own fields are classified;
+				// the handle itself is never written.
+				return
+			}
+			base := ctx.eval(r.X)
+			ctx.recordWrite(f, directWriteDom(base.d), call, recvExpr)
+		} else {
+			ctx.boundaryWrite(r, directWriteDom(ctx.eval(r.X).d))
+		}
+	case *ast.IndexExpr:
+		pv := ctx.eval(r)
+		ctx.recordWrite(pv.attrib, directWriteDom(pv.d), call, recvExpr)
+	}
+}
+
+// externalCall records a trap-reachable call into an uncovered
+// module-internal package.
+func (ctx *evalCtx) externalCall(call *ast.CallExpr) {
+	if !ctx.record {
+		return
+	}
+	tf := ctx.p.calleeFunc(call)
+	if tf == nil || tf.Pkg() == nil {
+		return
+	}
+	pkg := normPkg(tf.Pkg().Path())
+	if !strings.HasPrefix(pkg, "internal/") {
+		return
+	}
+	d := domGlobal
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := ctx.p.Info.Selections[sel]; isSel {
+			d = ctx.eval(sel.X).d
+		}
+	}
+	name := funcObjKey(tf)
+	ctx.state.external = append(ctx.state.external, extEvent{target: name + "() ← call", d: d})
+}
+
+// joinBind grows a callee's parameter binding, re-enqueueing the callee
+// when it changes.
+func (an *confineAnalysis) joinBind(fn *cfunc, o types.Object, d dom) {
+	if o == nil || d == domNone {
+		if _, ok := fn.bind[o]; o == nil || ok {
+			return
+		}
+		// First sighting at none: record so later joins have a base.
+		fn.bind[o] = domNone
+		return
+	}
+	old, ok := fn.bind[o]
+	nd := domJoin(old, d)
+	if !ok || nd != old {
+		fn.bind[o] = nd
+		an.enqueue(fn)
+	}
+}

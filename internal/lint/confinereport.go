@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// classify merges the per-function analysis buffers into the field
+// registry and emits the confinement findings: unannotated trap-mutated
+// fields, annotations the analysis cannot prove, annotations wider than
+// any observed sharing, and stale annotations on fields no trap path
+// mutates.
+func (an *confineAnalysis) classify() {
+	type wkey struct {
+		f   *fieldInfo
+		d   dom
+		pos string
+	}
+	seen := map[wkey]bool{}
+	for _, st := range an.state {
+		for _, w := range st.writes {
+			k := wkey{w.f, w.d, posKey(w.pos)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			w.f.writes[w.d] = append(w.f.writes[w.d], w.pos)
+		}
+		for _, e := range st.external {
+			an.boundary[e] = true
+		}
+	}
+	for _, f := range an.fields {
+		for d := range f.writes {
+			ps := f.writes[d]
+			sort.Slice(ps, func(i, j int) bool { return posLess(ps[i], ps[j]) })
+		}
+	}
+	for _, f := range an.sortedFields() {
+		trapWritten := len(f.writes) > 0
+		inferred := f.inferredClass()
+		switch {
+		case trapWritten && f.ann == "":
+			an.findings = append(an.findings, Finding{
+				Pos: f.pos, Analyzer: "confine",
+				Message: fmt.Sprintf("trap-mutated field %s.%s has no //zlint:confine annotation (inferred class %s; write provenance %s)",
+					f.structName, f.fieldName, inferred, domSetString(f.writes)),
+			})
+		case trapWritten && f.ann != inferred:
+			annDom := classDom(f.ann)
+			if w, ok := witnessWrite(f, annDom); ok {
+				an.findings = append(an.findings, Finding{
+					Pos: f.annPos, Analyzer: "confine",
+					Message: fmt.Sprintf("//zlint:confine %s on %s.%s cannot be proven: write at %s has %s provenance (inferred class %s)",
+						f.ann, f.structName, f.fieldName, posKey(w.pos), w.d, inferred),
+				})
+			} else {
+				an.findings = append(an.findings, Finding{
+					Pos: f.annPos, Analyzer: "confine",
+					Message: fmt.Sprintf("//zlint:confine %s on %s.%s admits more sharing than any trap path exhibits (inferred class %s); tighten the annotation",
+						f.ann, f.structName, f.fieldName, inferred),
+				})
+			}
+		case !trapWritten && f.ann != "" && !f.annOnType:
+			an.findings = append(an.findings, Finding{
+				Pos: f.annPos, Analyzer: "confine",
+				Message: fmt.Sprintf("//zlint:confine %s on %s.%s is stale: no trap-dispatch path mutates the field",
+					f.ann, f.structName, f.fieldName),
+			})
+		}
+	}
+}
+
+// classDom maps an annotation class to the largest write domain it admits.
+func classDom(class string) dom {
+	switch class {
+	case "shard":
+		return domSelf
+	case "home":
+		return domHome
+	case "carrier":
+		return domConfined
+	}
+	return domGlobal
+}
+
+// witnessWrite returns the first write whose domain exceeds what the
+// annotated class admits (the proof obstacle), if any.
+func witnessWrite(f *fieldInfo, annDom dom) (access, bool) {
+	var out []access
+	for d, ps := range f.writes {
+		if domJoin(annDom, d) != annDom {
+			for _, p := range ps {
+				out = append(out, access{f: f, d: d, pos: p})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return access{}, false
+	}
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i].pos, out[j].pos) })
+	return out[0], true
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// domSetString renders the set of observed write domains ("self+global").
+func domSetString(writes map[dom][]token.Position) string {
+	var ds []string
+	for d := range writes {
+		ds = append(ds, d.String())
+	}
+	sort.Strings(ds)
+	return strings.Join(ds, "+")
+}
+
+func (an *confineAnalysis) sortedFields() []*fieldInfo {
+	out := make([]*fieldInfo, 0, len(an.fields))
+	for _, f := range an.fields {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// ConfineReport is the deterministic whole-program confinement report
+// committed as CONFINEMENT.md and diffed by `make lint` and CI.
+type ConfineReport struct {
+	Roots    []string
+	Packages []ConfinePkg
+	Boundary []string
+}
+
+// ConfinePkg is one covered package's section.
+type ConfinePkg struct {
+	Dir    string
+	Rows   []ConfineRow
+	Frozen []string
+}
+
+// ConfineRow classifies one trap-mutated field.
+type ConfineRow struct {
+	Struct, Field, Type string
+	Class, Status       string
+	Writes              string // observed write-provenance set
+}
+
+// report assembles the classification into the committed report shape.
+func (an *confineAnalysis) report() *ConfineReport {
+	rep := &ConfineReport{}
+	for _, r := range an.roots {
+		rep.Roots = append(rep.Roots, r.key)
+	}
+	byPkg := map[string]*ConfinePkg{}
+	for _, f := range an.sortedFields() {
+		pk := byPkg[f.pkgDir]
+		if pk == nil {
+			pk = &ConfinePkg{Dir: f.pkgDir}
+			byPkg[f.pkgDir] = pk
+		}
+		switch {
+		case len(f.writes) > 0:
+			class := f.inferredClass()
+			status := "proven"
+			if class == "global" {
+				status = "admitted"
+			}
+			pk.Rows = append(pk.Rows, ConfineRow{
+				Struct: f.structName, Field: f.fieldName, Type: f.typ,
+				Class: class, Status: status, Writes: domSetString(f.writes),
+			})
+		case f.reads && !f.writtenPre:
+			pk.Frozen = append(pk.Frozen, f.structName+"."+f.fieldName)
+		}
+	}
+	var dirs []string
+	for d, pk := range byPkg {
+		if len(pk.Rows) > 0 || len(pk.Frozen) > 0 {
+			dirs = append(dirs, d)
+		}
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		rep.Packages = append(rep.Packages, *byPkg[d])
+	}
+	var bnd []string
+	for e := range an.boundary {
+		bnd = append(bnd, fmt.Sprintf("%s (%s)", e.target, e.d))
+	}
+	sort.Strings(bnd)
+	rep.Boundary = bnd
+	return rep
+}
+
+// Render emits the report as deterministic markdown. Everything in it is
+// derived from sorted data; byte-identical output across runs and Go
+// versions is the contract that lets CI diff it against the committed
+// CONFINEMENT.md.
+func (r *ConfineReport) Render() string {
+	var b strings.Builder
+	b.WriteString("# Confinement report\n\n")
+	b.WriteString("Machine-checked by the `confine` analyzer (internal/lint). Regenerate with\n\n")
+	b.WriteString("    go run ./cmd/zlint -confine-report ./... > CONFINEMENT.md\n\n")
+	b.WriteString("Classes — **home**: every trap-reachable write is indexed by the accessed\n")
+	b.WriteString("line's home node. **shard**: every trap-reachable write goes through state\n")
+	b.WriteString("owned by the issuing processor. **carrier**: a container type written only\n")
+	b.WriteString("through home- or shard-confined owning instances. **global**: admitted\n")
+	b.WriteString("shared state, serialized by the trap token today and the worklist for the\n")
+	b.WriteString("phase-3 deferred-remote-effects design (DESIGN §16).\n\n")
+	fmt.Fprintf(&b, "## Trap roots (%d)\n\n", len(r.Roots))
+	for _, root := range r.Roots {
+		fmt.Fprintf(&b, "- %s\n", root)
+	}
+	for _, pk := range r.Packages {
+		fmt.Fprintf(&b, "\n## %s\n", pk.Dir)
+		if len(pk.Rows) > 0 {
+			b.WriteString("\n| field | type | class | status | write provenance |\n")
+			b.WriteString("|---|---|---|---|---|\n")
+			for _, row := range pk.Rows {
+				fmt.Fprintf(&b, "| %s.%s | `%s` | %s | %s | %s |\n",
+					row.Struct, row.Field, row.Type, row.Class, row.Status, row.Writes)
+			}
+		}
+		if len(pk.Frozen) > 0 {
+			b.WriteString("\nFrozen (trap-read, never trap-written): " + strings.Join(pk.Frozen, ", ") + "\n")
+		}
+	}
+	if len(r.Boundary) > 0 {
+		b.WriteString("\n## Boundary (uncovered packages touched from trap paths)\n\n")
+		for _, e := range r.Boundary {
+			fmt.Fprintf(&b, "- %s\n", e)
+		}
+	}
+	return b.String()
+}

@@ -4,12 +4,15 @@
 // standard library (go/parser + go/ast + go/types with the source importer),
 // matching the module's zero-dependency stance.
 //
-// The engine ships five analyzers grounded in real invariants of this
+// The engine ships six analyzers grounded in real invariants of this
 // codebase (see the Analyzers variable). Three of them apply only to the
 // "deterministic zone" — the packages whose outputs must be bit-identical
-// across runs and -parallel settings — while atomicmix and errdrop apply
-// module-wide. Findings are emitted as "file:line: analyzer: message" and
-// any unsuppressed finding makes cmd/zlint exit nonzero.
+// across runs and -parallel settings — atomicmix and errdrop apply
+// module-wide, and confine is a whole-program analysis that proves the
+// protocol-state partition (//zlint:confine annotations, DESIGN.md "State
+// confinement") whenever the full module is loaded. Findings are emitted
+// as "file:line: analyzer: message" and any unsuppressed finding makes
+// cmd/zlint exit nonzero.
 //
 // A finding can be suppressed with a same-line or preceding-line comment of
 // the form
@@ -57,13 +60,18 @@ type Package struct {
 	InZone bool
 }
 
-// An Analyzer inspects one package and reports findings.
+// An Analyzer inspects one package and reports findings. Exactly one of
+// Run and RunGlobal is set: Run sees each package in isolation, while
+// RunGlobal sees the whole loaded package set at once (whole-program
+// analyses like confine, which must trace call paths across packages).
 type Analyzer struct {
 	Name string
 	Doc  string
 	// ZoneOnly restricts the analyzer to deterministic-zone packages.
 	ZoneOnly bool
 	Run      func(p *Package) []Finding
+	// RunGlobal, when set, is invoked once with every loaded package.
+	RunGlobal func(pkgs []*Package) []Finding
 }
 
 // Analyzers is the full suite, in reporting order.
@@ -73,6 +81,7 @@ var Analyzers = []*Analyzer{
 	GlobalMut,
 	AtomicMix,
 	ErrDrop,
+	Confine,
 }
 
 // AnalyzerNames returns the set of valid analyzer names (used to validate
@@ -88,26 +97,44 @@ func AnalyzerNames() map[string]bool {
 // Run executes every applicable analyzer on every package, applies
 // //zlint:ignore suppressions, and returns the surviving findings plus any
 // suppression problems (missing reason, unknown analyzer, unused
-// suppression), sorted by file, line, analyzer, and message.
+// suppression), sorted by file, line, column, analyzer, and message.
+// Suppressions are matched across the whole run (by filename), so findings
+// from whole-program analyzers are suppressible exactly like per-package
+// ones.
 func Run(pkgs []*Package) []Finding {
-	var out []Finding
+	sups := &suppressionSet{}
+	var raw []Finding
 	for _, p := range pkgs {
-		sups := collectSuppressions(p)
-		var raw []Finding
+		sups.sups = append(sups.sups, collectSuppressions(p).sups...)
 		for _, a := range Analyzers {
-			if a.ZoneOnly && !p.InZone {
+			if a.Run == nil || (a.ZoneOnly && !p.InZone) {
 				continue
 			}
 			raw = append(raw, a.Run(p)...)
 		}
-		for _, f := range raw {
-			if sups.suppress(f) {
-				continue
-			}
-			out = append(out, f)
-		}
-		out = append(out, sups.problems()...)
 	}
+	for _, a := range Analyzers {
+		if a.RunGlobal != nil {
+			raw = append(raw, a.RunGlobal(pkgs)...)
+		}
+	}
+	var out []Finding
+	for _, f := range raw {
+		if sups.suppress(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, sups.problems()...)
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, column, analyzer, and
+// message. The column keeps two same-line findings in a stable order that
+// does not depend on analyzer traversal order or the Go version's map
+// iteration (the engine reports positions, and positions are the key).
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -116,12 +143,14 @@ func Run(pkgs []*Package) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
 		if a.Analyzer != b.Analyzer {
 			return a.Analyzer < b.Analyzer
 		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 // inspect walks every non-test file in the package, calling fn for each

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func finding(file string, line int, analyzer string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer, Message: "m"}
+}
+
+// TestSuppressCoverage pins the directive's scope: a //zlint:ignore on
+// line N covers findings on line N (trailing comment) and line N+1
+// (comment on the line above) in the same file, for the named analyzer
+// only.
+func TestSuppressCoverage(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Finding
+		want bool
+	}{
+		{"same line", finding("a.go", 10, "walltime"), true},
+		{"next line", finding("a.go", 11, "walltime"), true},
+		{"two lines below", finding("a.go", 12, "walltime"), false},
+		{"line above", finding("a.go", 9, "walltime"), false},
+		{"other analyzer", finding("a.go", 10, "maprange"), false},
+		{"other file", finding("b.go", 10, "walltime"), false},
+	}
+	for _, tc := range cases {
+		set := &suppressionSet{sups: []*suppression{{
+			pos:      token.Position{Filename: "a.go", Line: 10},
+			analyzer: "walltime", reason: "r",
+		}}}
+		if got := set.suppress(tc.f); got != tc.want {
+			t.Errorf("%s: suppress = %v, want %v", tc.name, got, tc.want)
+		}
+		if used := set.sups[0].used; used != tc.want {
+			t.Errorf("%s: directive used = %v, want %v", tc.name, used, tc.want)
+		}
+	}
+}
+
+// TestSuppressAdjacentDirectives: two directives for different analyzers
+// on adjacent lines each cover their own analyzer's finding on the shared
+// line, and neither is reported unused.
+func TestSuppressAdjacentDirectives(t *testing.T) {
+	set := &suppressionSet{sups: []*suppression{
+		{pos: token.Position{Filename: "a.go", Line: 9}, analyzer: "walltime", reason: "r"},
+		{pos: token.Position{Filename: "a.go", Line: 10}, analyzer: "maprange", reason: "r"},
+	}}
+	if !set.suppress(finding("a.go", 10, "walltime")) {
+		t.Error("walltime finding on line 10 not covered by the line-9 directive")
+	}
+	if !set.suppress(finding("a.go", 10, "maprange")) {
+		t.Error("maprange finding on line 10 not covered by the line-10 directive")
+	}
+	if probs := set.problems(); len(probs) != 0 {
+		t.Errorf("problems = %v, want none", probs)
+	}
+}
+
+// TestSuppressProblems parses real directive comments and pins the
+// malformed/unused diagnostics: a well-formed directive matching nothing,
+// an unknown analyzer, a missing reason, and a bare directive.
+func TestSuppressProblems(t *testing.T) {
+	src := `package s
+
+var a = 1 //zlint:ignore walltime covers nothing here
+
+//zlint:ignore nosuch some reason
+var b = 2
+
+//zlint:ignore maprange
+var c = 3
+
+//zlint:ignore
+var d = 4
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectSuppressions(&Package{Fset: fset, Files: []*ast.File{f}})
+	probs := set.problems()
+	SortFindings(probs)
+	want := []string{
+		"unused //zlint:ignore walltime (no walltime finding on this or the next line)",
+		`//zlint:ignore names unknown analyzer "nosuch"`,
+		"//zlint:ignore maprange needs a reason",
+		"//zlint:ignore needs an analyzer name and a reason",
+	}
+	if len(probs) != len(want) {
+		t.Fatalf("got %d problems %v, want %d", len(probs), probs, len(want))
+	}
+	for i, w := range want {
+		if probs[i].Message != w {
+			t.Errorf("problem %d = %q, want %q", i, probs[i].Message, w)
+		}
+	}
+}
+
+// TestSortFindingsColumn: findings on the same file and line must order
+// by column, then analyzer, then message — never by insertion order.
+func TestSortFindingsColumn(t *testing.T) {
+	fs := []Finding{
+		{Pos: token.Position{Filename: "a.go", Line: 5, Column: 9}, Analyzer: "b", Message: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 5, Column: 2}, Analyzer: "b", Message: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 5, Column: 2}, Analyzer: "a", Message: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 5, Column: 2}, Analyzer: "a", Message: "m"},
+	}
+	SortFindings(fs)
+	var got []string
+	for _, f := range fs {
+		got = append(got, f.Analyzer+"/"+f.Message+"/"+itoa(f.Pos.Column))
+	}
+	want := []string{"a/m/2", "a/z/2", "b/m/2", "b/m/9"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}

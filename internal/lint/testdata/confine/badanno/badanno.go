@@ -1,0 +1,29 @@
+// Package badanno seeds annotation-hygiene violations: a stale class on a
+// field no trap path writes, malformed and misplaced directives, and an
+// annotation admitting more sharing than any trap path exhibits.
+package badanno
+
+// Addr is the fixture's simulated address type.
+type Addr uint64
+
+// Env is the fixture's trap root.
+type Env struct {
+	//zlint:confine global any processor may bump this
+	wide int // only ever written self: the annotation is too wide
+
+	//zlint:confine shard
+	noReason int // directive missing its reason
+
+	//zlint:confine sideways the class does not exist
+	unknown int // directive naming an unknown class
+
+	//zlint:confine shard never trap-written
+	stale int // annotated but no trap path writes it
+}
+
+//zlint:confine shard directives cannot annotate functions
+func (e *Env) Store(addr Addr) {
+	e.wide++
+	e.noReason++
+	e.unknown++
+}

@@ -1,0 +1,50 @@
+// Package crosshome seeds a cross-home write: a home-annotated entry
+// table indexed by a value displaced off the accessed address's home
+// partition. The displaced index launders the address's pedigree through
+// arithmetic, so the analysis must refuse to prove the annotation.
+package crosshome
+
+// Addr is the fixture's simulated address type.
+type Addr uint64
+
+type entry struct {
+	//zlint:confine home entries are partitioned by the line's home node
+	state int
+
+	//zlint:confine home marks are indexed by the accessed line's home
+	seen bool
+}
+
+type table struct {
+	n     int
+	homes [][]entry
+}
+
+// good returns the entry in the partition the address actually homes to:
+// writes through it are provably home-confined.
+func (t *table) good(addr Addr) *entry {
+	h := int(addr) % t.n
+	return &t.homes[h][0]
+}
+
+// at indexes the neighbouring partition — the seeded violation. h+1 is no
+// longer a pure derivation of addr, so the write below it is global.
+func (t *table) at(addr Addr) *entry {
+	h := int(addr) % t.n
+	return &t.homes[(h+1)%t.n][0]
+}
+
+// Env is the fixture's trap root.
+type Env struct {
+	t *table
+}
+
+// Load writes through the correctly-homed entry (no finding).
+func (e *Env) Load(addr Addr) {
+	e.t.good(addr).seen = true
+}
+
+// Store writes through the displaced entry (the finding).
+func (e *Env) Store(addr Addr) {
+	e.t.at(addr).state = 1
+}

@@ -1,0 +1,27 @@
+// Package globaltrap seeds an unannotated shared-global mutation: a trap
+// method bumps a machine-wide tally through a shared container, and the
+// mutated field carries no //zlint:confine annotation at all.
+package globaltrap
+
+// Addr is the fixture's simulated address type.
+type Addr uint64
+
+// counters is machine-wide state reached through a shared pointer.
+type counters struct {
+	hits uint64 // no annotation: the seeded violation
+}
+
+// Env is the fixture's trap root.
+type Env struct {
+	c *counters
+
+	//zlint:confine shard only the issuing processor's own Env counts here
+	n int
+}
+
+// Load bumps the issuing Env's own counter (proven shard, no finding) and
+// the machine-wide tally (unannotated global write, the finding).
+func (e *Env) Load(addr Addr) {
+	e.n++
+	e.c.hits++
+}

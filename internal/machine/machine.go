@@ -36,6 +36,8 @@ type Machine struct {
 	// allocator, so word indices are dense and every load/store on the
 	// per-access hot path is two array indexings — no hashing, no
 	// steady-state allocation.
+	//
+	//zlint:confine home word values are indexed by WordIndex(addr); the backing pages partition by the address being accessed
 	values memsys.Paged[uint64]
 	procs  []stats.Proc
 	envs   []*Env
@@ -63,6 +65,7 @@ type Machine struct {
 	// coreFree[node] is when the node's core finishes its current
 	// computation; with HWThreads > 1 the threads of a node contend for it
 	// (switch-on-miss multithreading: memory stalls do not hold the core).
+	//zlint:confine shard indexed by the issuing processor's own node at every compute dispatch
 	coreFree []Time
 	ran      bool
 }
@@ -312,6 +315,7 @@ type stagedEv struct {
 // and only the engine coordinator drains (at quiesce points), so there is
 // no concurrent access; the phase hand-offs are channel operations.
 type stageShard struct {
+	//zlint:confine shard only the shard's currently dispatched processor appends to its own shard's FIFO
 	evs  []stagedEv
 	head int
 }
@@ -402,12 +406,16 @@ type Env struct {
 	loadProbe  func() bool
 	storeProbe func() bool
 	swapProbe  func() bool
-	probeAddr  memsys.Addr
-	sharded    bool
-	shard      int
+	//zlint:confine shard written by this Env's own processor immediately before it traps
+	probeAddr memsys.Addr
+	sharded   bool
+	shard     int
 	// Per-trap dispatch tallies (written only by this Env's processor,
 	// summed into machine.scope.* after the run).
-	nLocal  [numTraps]uint64
+	//
+	//zlint:confine shard dispatch tallies are bumped only by this Env's own processor
+	nLocal [numTraps]uint64
+	//zlint:confine shard dispatch tallies are bumped only by this Env's own processor
 	nGlobal [numTraps]uint64
 }
 

@@ -109,9 +109,9 @@ type MemSystem interface {
 type AccessClass uint8
 
 const (
-	AccessLoad AccessClass = iota // LoadU64: a shared read
-	AccessStore                   // StoreU64: a shared write
-	AccessSwap                    // AtomicSwapU64: a read + write at one point
+	AccessLoad  AccessClass = iota // LoadU64: a shared read
+	AccessStore                    // StoreU64: a shared write
+	AccessSwap                     // AtomicSwapU64: a read + write at one point
 )
 
 // ScopedSystem is implemented by memory systems that can classify an access
@@ -150,6 +150,8 @@ type TokenSystem interface {
 
 // Counters aggregates protocol events for the whole run plus per-processor
 // access counts (Table 1 reports the number of writes per application).
+//
+//zlint:confine global run-wide event tallies are bumped from whichever processor's trap triggers the event; serialized by the trap token (phase-3 worklist)
 type Counters struct {
 	Reads       uint64 // shared reads issued
 	Writes      uint64 // shared writes issued
@@ -170,7 +172,9 @@ type Counters struct {
 
 	NetworkCycles uint64 // total cycles of link occupancy injected (Table 1)
 
-	PerProcReads  []uint64
+	//zlint:confine shard CountRead writes only the issuing processor's own cell (local shard windows count here to avoid a cross-shard race)
+	PerProcReads []uint64
+	//zlint:confine shard CountWrite writes only the issuing processor's own cell (local shard windows count here to avoid a cross-shard race)
 	PerProcWrites []uint64
 }
 

@@ -22,6 +22,8 @@ type Time = memsys.Time
 // Net is the interconnect between the machine's nodes: a routing topology
 // (mesh by default — the paper's network) plus link bandwidth, per-hop
 // latency, and per-link FIFO contention.
+//
+//zlint:confine global link occupancy couples all nodes by construction — any processor's message reserves an arbitrary src→dst link; serialized by the trap token (the sharded kernel bounds it with conservative lookahead)
 type Net struct {
 	p    memsys.Params
 	topo Topology

@@ -19,6 +19,7 @@ import (
 // whose fills complete in the background.
 type inv struct {
 	base
+	//zlint:confine shard sb[node] is drained and refilled only by the issuing stream's own node
 	sb   []*wbuffer.StoreBuffer
 	sc   bool // sequentially consistent variant
 	lazy bool // rcsync: releases never drain; consumers wait on the watermark

@@ -28,7 +28,9 @@ const (
 
 type upd struct {
 	base
-	sb   []*wbuffer.StoreBuffer
+	//zlint:confine shard sb[node] is drained and refilled only by the issuing stream's own node
+	sb []*wbuffer.StoreBuffer
+	//zlint:confine shard mb[node] merges and flushes only the issuing stream's own stores
 	mb   []*wbuffer.MergeBuffer
 	mode updMode
 }

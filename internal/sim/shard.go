@@ -129,8 +129,9 @@ const (
 // shard's window goroutine inside one; the hand-off in both directions is a
 // channel operation, so there is no concurrent access.
 type shard struct {
-	id   int
-	eng  *Engine
+	id  int
+	eng *Engine
+	//zlint:confine global a cross-shard Unblock pushes the woken processor onto the waker's target shard queue; the engine's hand-off serializes it
 	runq procHeap
 	// yield receives the trap messages of this shard's processors. The
 	// currently running processor always yields to its own shard's channel;
@@ -139,8 +140,9 @@ type shard struct {
 	yield chan yieldMsg
 
 	// Window-phase accounting (the serial phase accounts on the Engine).
-	switches     uint64 // window dispatches
-	blocks       uint64 // Block calls observed inside windows
+	switches uint64 // window dispatches
+	blocks   uint64 // Block calls observed inside windows
+	//zlint:confine shard bumped only by the shard's own window dispatch loop
 	fastPathHits uint64 // inline returns inside windows
 	dispatches   uint64 // total dispatches attributed to this shard (both phases)
 
@@ -165,8 +167,10 @@ type shard struct {
 	// would have to rewrite history the window already executed, so Unblock
 	// treats that as a lookahead-contract violation and panics. wmID == -1
 	// means no window dispatch yet (nothing can order below (0, -1)).
+	//zlint:confine shard the watermark is advanced only by the shard's own window dispatches
 	wmClock Time
-	wmID    int
+	//zlint:confine shard the watermark is advanced only by the shard's own window dispatches
+	wmID int
 }
 
 // horizon is the exclusive virtual-time upper bound on local-scope window

@@ -26,6 +26,8 @@ type Time uint64
 // Proc is a simulated processor. All methods must be called from the
 // processor's own body function, except Unblock which is called by whichever
 // processor performs the releasing action.
+//
+//zlint:confine global scheduler bookkeeping: Unblock (and the engine's dispatch bookkeeping) mutates the woken processor from the releasing processor's trap, so Proc state is cross-shard by design; the engine serializes it
 type Proc struct {
 	id      int
 	clock   Time
@@ -210,6 +212,8 @@ func (p *Proc) Blocked() bool { return p.blocked }
 type abortRun struct{}
 
 // Engine schedules a fixed set of simulated processors.
+//
+//zlint:confine global the scheduler is machine-wide by construction: any processor's trap can push any other processor onto the run queue; the coordinator serializes it
 type Engine struct {
 	procs []*Proc
 	runq  procHeap
